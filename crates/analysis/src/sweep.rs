@@ -1,0 +1,129 @@
+//! Parameter sweeps: the reusable machinery behind Figs. 11-13.
+
+use gmt_core::GmtConfig;
+use gmt_mem::TierGeometry;
+use gmt_workloads::Workload;
+
+use crate::runner::{run_system_with, RunResult, SystemKind};
+
+/// Runs `workload` on `system` at each Tier-2:Tier-1 capacity ratio
+/// (the Fig. 12 sweep), deriving each geometry from the workload's
+/// fixed extent.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_analysis::runner::SystemKind;
+/// use gmt_analysis::sweep::capacity_ratio_sweep;
+/// use gmt_core::PolicyKind;
+/// use gmt_workloads::{srad::Srad, WorkloadScale};
+///
+/// let w = Srad::with_scale(&WorkloadScale::tiny());
+/// let runs = capacity_ratio_sweep(&w, &[2.0, 4.0], 2.0, SystemKind::Gmt(PolicyKind::Reuse), 1);
+/// assert_eq!(runs.len(), 2);
+/// ```
+pub fn capacity_ratio_sweep(
+    workload: &dyn Workload,
+    ratios: &[f64],
+    os: f64,
+    system: SystemKind,
+    seed: u64,
+) -> Vec<(f64, RunResult)> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            let geometry = TierGeometry::from_total(workload.total_pages(), ratio, os);
+            (ratio, run_system_with(workload, system, &GmtConfig::new(geometry), seed))
+        })
+        .collect()
+}
+
+/// Runs `workload` on `system` at each over-subscription factor (the
+/// Fig. 11 axis), deriving each geometry from the workload's extent.
+pub fn oversubscription_sweep(
+    workload: &dyn Workload,
+    os_values: &[f64],
+    ratio: f64,
+    system: SystemKind,
+    seed: u64,
+) -> Vec<(f64, RunResult)> {
+    os_values
+        .iter()
+        .map(|&os| {
+            let geometry = TierGeometry::from_total(workload.total_pages(), ratio, os);
+            (os, run_system_with(workload, system, &GmtConfig::new(geometry), seed))
+        })
+        .collect()
+}
+
+/// Runs `workload` on every system (BaM, HMM, the three GMT policies)
+/// over one geometry — the column set of Figs. 8 and 14.
+pub fn system_matrix(
+    workload: &dyn Workload,
+    geometry: &TierGeometry,
+    seed: u64,
+) -> Vec<RunResult> {
+    use gmt_core::PolicyKind;
+    [
+        SystemKind::Bam,
+        SystemKind::Hmm,
+        SystemKind::Gmt(PolicyKind::TierOrder),
+        SystemKind::Gmt(PolicyKind::Random),
+        SystemKind::Gmt(PolicyKind::Reuse),
+    ]
+    .into_iter()
+    .map(|system| run_system_with(workload, system, &GmtConfig::new(*geometry), seed))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::geo_mean;
+    use gmt_core::PolicyKind;
+    use gmt_workloads::srad::Srad;
+    use gmt_workloads::WorkloadScale;
+
+    #[test]
+    fn ratio_sweep_grows_tier2_hits() {
+        let w = Srad::with_scale(&WorkloadScale::pages(800));
+        let runs = capacity_ratio_sweep(
+            &w,
+            &[1.0, 8.0],
+            2.0,
+            SystemKind::Gmt(PolicyKind::Reuse),
+            1,
+        );
+        assert!(runs[1].1.metrics.t2_hit_rate() >= runs[0].1.metrics.t2_hit_rate());
+    }
+
+    #[test]
+    fn oversubscription_sweep_increases_pressure() {
+        // A Zipf loop's miss count moves smoothly with Tier-1 capacity.
+        let w = gmt_workloads::synthetic::ZipfLoop::new(
+            &WorkloadScale::pages(800),
+            0.7,
+            0.0,
+            20_000,
+        );
+        let runs = oversubscription_sweep(&w, &[1.5, 4.0], 4.0, SystemKind::Bam, 1);
+        // Higher over-subscription = smaller Tier-1 = more misses.
+        assert!(runs[1].1.metrics.t1_misses > runs[0].1.metrics.t1_misses);
+    }
+
+    #[test]
+    fn system_matrix_covers_all_five() {
+        let w = Srad::with_scale(&WorkloadScale::pages(800));
+        let geometry = TierGeometry::from_total(w.total_pages(), 4.0, 2.0);
+        let runs = system_matrix(&w, &geometry, 1);
+        assert_eq!(runs.len(), 5);
+        let speedups: Vec<f64> = runs[1..]
+            .iter()
+            .map(|r| r.speedup_over(&runs[0]))
+            .collect();
+        assert!(geo_mean(speedups.iter().copied()) > 0.0);
+        // HMM slowest, GMT-Reuse among the fastest.
+        assert!(runs[1].elapsed > runs[0].elapsed, "HMM slower than BaM");
+        assert!(runs[4].elapsed < runs[0].elapsed, "Reuse faster than BaM");
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixed-width text tables for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_analysis::table::Table;
+///
+/// let mut t = Table::new(vec!["app", "speedup"]);
+/// t.row(vec!["Srad".into(), "2.33".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("Srad"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders as comma-separated values (for piping into plotting tools).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Prints `table` as text, or as CSV when the `GMT_CSV` environment
+/// variable is set to a non-empty value — so every figure binary can feed
+/// plotting scripts without reparsing aligned columns.
+pub fn emit(table: &Table) {
+    if std::env::var("GMT_CSV").map(|v| !v.is_empty()).unwrap_or(false) {
+        print!("{}", table.to_csv());
+    } else {
+        print!("{table}");
+    }
+    println!();
+}
+
+/// Formats a ratio as `1.23x`.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a fraction as `45.6%`.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxxxx".into(), "1".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0].find("long-header"), lines[2].find('1'));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert_eq!(md, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    fn csv_is_plain() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        Table::new(vec!["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ratio(1.5), "1.50x");
+        assert_eq!(fmt_pct(0.123), "12.3%");
+    }
+}

@@ -1,0 +1,299 @@
+//! BaM: GPU-initiated on-demand storage access, 2 tiers (GPU ⇄ SSD).
+
+use gmt_core::{GmtConfig, TieringMetrics};
+use gmt_gpu::MemoryBackend;
+use gmt_mem::{ClockList, PageTable, TierGeometry, WarpAccess};
+use gmt_sim::Time;
+use gmt_ssd::array::{ArrayConfig, SsdArray};
+use gmt_ssd::qpair::QueuePair;
+use gmt_ssd::queue::Opcode;
+use gmt_ssd::{SsdConfig, SsdDevice};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the BaM baseline.
+///
+/// BaM has no Tier-2, so only the Tier-1 capacity and the SSD calibration
+/// matter; the [`TierGeometry`]'s Tier-2 field is ignored (kept so the same
+/// geometry drives paired GMT/BaM runs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BamConfig {
+    /// Tier capacities (Tier-2 ignored).
+    pub geometry: TierGeometry,
+    /// SSD calibration.
+    pub ssd: SsdConfig,
+    /// Number of identical SSDs striped at page granularity (BaM scales
+    /// to arrays of ten in its own evaluation).
+    pub ssd_devices: usize,
+    /// NVMe queue depth per queue pair. BaM's GPU-resident rings throttle
+    /// submission when full (threads spin); 0 disables the ring model and
+    /// issues directly against the device array.
+    pub queue_depth: usize,
+}
+
+impl BamConfig {
+    /// BaM with the default SSD on the given capacities.
+    pub fn new(geometry: TierGeometry) -> BamConfig {
+        BamConfig { geometry, ssd: SsdConfig::default(), ssd_devices: 1, queue_depth: 1024 }
+    }
+
+    /// Same configuration striped over `devices` SSDs.
+    pub fn with_devices(mut self, devices: usize) -> BamConfig {
+        self.ssd_devices = devices;
+        self
+    }
+}
+
+impl From<GmtConfig> for BamConfig {
+    /// Extracts the parameters BaM shares with a GMT configuration, so a
+    /// paired baseline run uses the identical device models.
+    fn from(config: GmtConfig) -> BamConfig {
+        BamConfig {
+            geometry: config.geometry,
+            ssd: config.ssd,
+            ssd_devices: config.ssd_devices,
+            queue_depth: 1024,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BamMeta {
+    resident: bool,
+    dirty: bool,
+    ready_at: Time,
+}
+
+impl Default for BamMeta {
+    fn default() -> BamMeta {
+        BamMeta { resident: false, dirty: false, ready_at: Time::ZERO }
+    }
+}
+
+/// The BaM runtime (Qureshi et al., ASPLOS 2023), re-implemented on the
+/// simulated substrate.
+///
+/// GPU threads submit NVMe commands directly: a Tier-1 miss is one SSD
+/// read; a dirty Tier-1 victim is one SSD write; host memory never holds
+/// pages.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_baselines::{Bam, BamConfig};
+/// use gmt_gpu::{Executor, ExecutorConfig};
+/// use gmt_mem::{PageId, TierGeometry, WarpAccess};
+///
+/// let bam = Bam::new(BamConfig::new(TierGeometry::from_tier1(16, 4.0, 2.0)));
+/// let trace = (0..160u64).map(|p| WarpAccess::read(PageId(p)));
+/// let out = Executor::new(ExecutorConfig::default()).run(bam, trace);
+/// assert_eq!(out.backend.metrics().ssd_reads, 160);
+/// ```
+#[derive(Debug)]
+pub struct Bam {
+    config: BamConfig,
+    clock: ClockList,
+    table: PageTable<BamMeta>,
+    ssd: BamStorage,
+    metrics: TieringMetrics,
+}
+
+/// BaM's storage back-end: NVMe rings when a queue depth is configured
+/// (single-device only — rings belong to one controller), a striped array
+/// otherwise.
+#[derive(Debug)]
+enum BamStorage {
+    Rings(QueuePair),
+    Array(SsdArray),
+}
+
+impl BamStorage {
+    fn read(&mut self, now: gmt_sim::Time, offset: u64, bytes: u64) -> gmt_sim::Time {
+        match self {
+            BamStorage::Rings(qp) => qp.submit_blocking(now, Opcode::Read, offset, bytes),
+            BamStorage::Array(array) => array.read(now, offset, bytes),
+        }
+    }
+
+    fn write(&mut self, now: gmt_sim::Time, offset: u64, bytes: u64) -> gmt_sim::Time {
+        match self {
+            BamStorage::Rings(qp) => qp.submit_blocking(now, Opcode::Write, offset, bytes),
+            BamStorage::Array(array) => array.write(now, offset, bytes),
+        }
+    }
+
+    fn stats(&self) -> gmt_ssd::SsdStats {
+        match self {
+            BamStorage::Rings(qp) => qp.device().stats(),
+            BamStorage::Array(array) => array.stats(),
+        }
+    }
+}
+
+impl Bam {
+    /// Builds the baseline from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's Tier-1 is empty.
+    pub fn new(config: BamConfig) -> Bam {
+        Bam {
+            clock: ClockList::new(config.geometry.tier1_pages),
+            table: PageTable::new(config.geometry.total_pages),
+            ssd: if config.queue_depth >= 2 && config.ssd_devices <= 1 {
+                BamStorage::Rings(QueuePair::new(SsdDevice::new(config.ssd), config.queue_depth))
+            } else {
+                BamStorage::Array(SsdArray::new(ArrayConfig {
+                    device: config.ssd,
+                    devices: config.ssd_devices.max(1),
+                    stripe_bytes: config.geometry.page_bytes,
+                }))
+            },
+            metrics: TieringMetrics::default(),
+            config,
+        }
+    }
+
+    /// The baseline's configuration.
+    pub fn config(&self) -> &BamConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn metrics(&self) -> TieringMetrics {
+        self.metrics
+    }
+
+    /// The SSD device's own statistics.
+    pub fn ssd_stats(&self) -> gmt_ssd::SsdStats {
+        self.ssd.stats()
+    }
+
+    fn page_bytes(&self) -> u64 {
+        self.config.geometry.page_bytes
+    }
+
+    fn evict_one(&mut self, now: Time) -> Time {
+        let victim = self.clock.evict_candidate();
+        self.metrics.t1_evictions += 1;
+        let bytes = self.page_bytes();
+        let offset = victim.0 * bytes;
+        let meta = self.table.get_mut(victim);
+        meta.resident = false;
+        if std::mem::take(&mut meta.dirty) {
+            self.metrics.ssd_writes += 1;
+            self.ssd.write(now, offset, bytes)
+        } else {
+            self.metrics.discards += 1;
+            now
+        }
+    }
+}
+
+impl MemoryBackend for Bam {
+    fn access(&mut self, now: Time, access: &WarpAccess) -> Time {
+        self.metrics.accesses += 1;
+        let mut ready = now;
+        for page in access.pages.iter() {
+            assert!(
+                page.index() < self.table.len(),
+                "page {page} outside the configured address space"
+            );
+            let meta = self.table.get(page);
+            if meta.resident {
+                ready = ready.max(meta.ready_at);
+                self.clock.touch(page);
+                self.metrics.t1_hits += 1;
+            } else {
+                self.metrics.t1_misses += 1;
+                if self.clock.is_full() {
+                    let done = self.evict_one(now);
+                    ready = ready.max(done);
+                }
+                self.metrics.ssd_reads += 1;
+                let bytes = self.page_bytes();
+                let done = self.ssd.read(now, page.0 * bytes, bytes);
+                self.clock.insert(page);
+                let meta = self.table.get_mut(page);
+                meta.resident = true;
+                meta.ready_at = done;
+                ready = ready.max(done);
+            }
+            if access.write {
+                self.table.get_mut(page).dirty = true;
+            }
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_mem::PageId;
+
+    fn tiny() -> Bam {
+        Bam::new(BamConfig::new(TierGeometry::from_tier1(4, 4.0, 2.0)))
+    }
+
+    fn read(bam: &mut Bam, now: Time, page: u64) -> Time {
+        bam.access(now, &WarpAccess::read(PageId(page)))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut bam = tiny();
+        let t1 = read(&mut bam, Time::ZERO, 0);
+        assert!(t1 > Time::ZERO);
+        let t2 = read(&mut bam, t1, 0);
+        assert_eq!(t2, t1);
+        let m = bam.metrics();
+        assert_eq!((m.t1_hits, m.t1_misses, m.ssd_reads), (1, 1, 1));
+    }
+
+    #[test]
+    fn clean_evictions_are_free() {
+        let mut bam = tiny();
+        let mut now = Time::ZERO;
+        for p in 0..12 {
+            now = read(&mut bam, now, p);
+        }
+        let m = bam.metrics();
+        assert_eq!(m.t1_evictions, 8);
+        assert_eq!(m.discards, 8);
+        assert_eq!(m.ssd_writes, 0);
+    }
+
+    #[test]
+    fn dirty_evictions_write_back() {
+        let mut bam = tiny();
+        let mut now = Time::ZERO;
+        for p in 0..4 {
+            now = bam.access(now, &WarpAccess::write(PageId(p)));
+        }
+        for p in 4..8 {
+            now = read(&mut bam, now, p);
+        }
+        assert_eq!(bam.metrics().ssd_writes, 4);
+    }
+
+    #[test]
+    fn no_tier2_counters_ever_move() {
+        let mut bam = tiny();
+        let mut now = Time::ZERO;
+        for p in 0..40 {
+            now = read(&mut bam, now, p % 13);
+        }
+        let m = bam.metrics();
+        assert_eq!(m.t2_hits, 0);
+        assert_eq!(m.t2_placements, 0);
+        assert_eq!(m.wasteful_lookups, 0);
+    }
+
+    #[test]
+    fn config_from_gmt_shares_devices() {
+        let gmt_config = GmtConfig::new(TierGeometry::from_tier1(8, 4.0, 2.0));
+        let bam_config: BamConfig = gmt_config.into();
+        assert_eq!(bam_config.geometry, gmt_config.geometry);
+        assert_eq!(bam_config.ssd, gmt_config.ssd);
+    }
+}

@@ -1,0 +1,282 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! Tier-3-pressure bypass threshold (§2.2), the Tier-2 insertion mode,
+//! the transfer method, and the sampling batch size.
+//!
+//! Each bench's *measured time is the simulated run's host cost*; the
+//! interesting output is printed once per configuration (simulated
+//! speedup), so `cargo bench -p gmt-bench --bench ablations` doubles as a
+//! quick ablation report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmt_analysis::runner::{geometry_for, run_system, run_system_with, SystemKind};
+use gmt_baselines::{Hmm, HmmConfig};
+use gmt_gpu::{Executor, ExecutorConfig};
+use gmt_core::{GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
+use gmt_pcie::TransferMethod;
+use gmt_reuse::SamplerConfig;
+use gmt_workloads::{hotspot::Hotspot, srad::Srad, Workload, WorkloadScale};
+use std::hint::black_box;
+
+fn bench_bypass_threshold(c: &mut Criterion) {
+    let workload = Hotspot::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_bypass");
+    group.sample_size(10);
+    for threshold in [0.5f64, 0.8, 0.95, 1.1] {
+        let mut config = GmtConfig::new(geometry);
+        config.reuse.bypass_threshold = threshold;
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!(
+            "ablate_bypass threshold={threshold:.2}: elapsed {} forced {}",
+            r.elapsed, r.metrics.forced_t2_placements
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threshold:.2}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    black_box(run_system_with(
+                        &workload,
+                        SystemKind::Gmt(PolicyKind::Reuse),
+                        config,
+                        1,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tier2_insert_mode(c: &mut Criterion) {
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_tier2_insert");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("reject_when_full", Tier2Insert::RejectWhenFull),
+        ("evict_fifo", Tier2Insert::EvictFifo),
+        ("evict_clock", Tier2Insert::EvictClock),
+        ("evict_random", Tier2Insert::EvictRandom),
+    ] {
+        let mut config = GmtConfig::new(geometry);
+        config.tier2_insert = Some(mode);
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!("ablate_tier2_insert {name}: elapsed {} t2_hits {}", r.elapsed, r.metrics.t2_hits);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transfer_method(c: &mut Criterion) {
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_transfer");
+    group.sample_size(10);
+    for (name, method) in [
+        ("dma", TransferMethod::DmaAsync),
+        ("zero_copy", TransferMethod::ZeroCopy),
+        ("hybrid_32t", TransferMethod::hybrid_32t()),
+    ] {
+        let config = GmtConfig { transfer: method, ..GmtConfig::new(geometry) };
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!("ablate_transfer {name}: elapsed {}", r.elapsed);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_sampling");
+    group.sample_size(10);
+    for (name, sampler) in [
+        ("tiny_budget", SamplerConfig { sample_budget: 1_000, batch_size: 100, pipelined: true }),
+        ("end_of_sampling", SamplerConfig { pipelined: false, ..SamplerConfig::default() }),
+        ("paper_default", SamplerConfig::default()),
+    ] {
+        let mut config = GmtConfig::new(geometry);
+        config.reuse.sampler = sampler;
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!(
+            "ablate_sampling {name}: elapsed {} accuracy {:.3}",
+            r.elapsed,
+            r.metrics.prediction_accuracy()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefetch(c: &mut Criterion) {
+    // Hotspot streams sequentially: the best case for the prefetching
+    // extension (the paper's runtime is demand-only).
+    let workload = Hotspot::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_prefetch");
+    group.sample_size(10);
+    for degree in [0usize, 2, 8] {
+        let mut config = GmtConfig::new(geometry);
+        config.prefetch_degree = degree;
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!(
+            "ablate_prefetch degree={degree}: elapsed {} prefetches {} t1_hit {:.3}",
+            r.elapsed,
+            r.metrics.prefetches,
+            r.metrics.t1_hit_rate()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_markov_scope(c: &mut Criterion) {
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_markov");
+    group.sample_size(10);
+    for (name, scope) in [("global", MarkovScope::Global), ("per_page", MarkovScope::PerPage)] {
+        let mut config = GmtConfig::new(geometry);
+        config.reuse.markov_scope = scope;
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!(
+            "ablate_markov {name}: elapsed {} accuracy {:.3}",
+            r.elapsed,
+            r.metrics.prediction_accuracy()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut group = c.benchmark_group("ablate_predictor");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("markov", PredictorKind::Markov),
+        ("last_tier", PredictorKind::LastTier),
+        ("always_host", PredictorKind::AlwaysHost),
+    ] {
+        let mut config = GmtConfig::new(geometry);
+        config.reuse.predictor = kind;
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
+        println!(
+            "ablate_predictor {name}: elapsed {} accuracy {:.3}",
+            r.elapsed,
+            r.metrics.prediction_accuracy()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| {
+                black_box(run_system_with(
+                    &workload,
+                    SystemKind::Gmt(PolicyKind::Reuse),
+                    config,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmm_generosity(c: &mut Criterion) {
+    // How much driver optimism does HMM need to catch BaM? Sweep fault
+    // batching and UVM-style migration chunking; even the generous
+    // configurations stay behind (the §3.6 conclusion).
+    let workload = Srad::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let bam = run_system(&workload, SystemKind::Bam, &geometry, 1);
+    let mut group = c.benchmark_group("ablate_hmm");
+    group.sample_size(10);
+    for (name, batch, chunk) in [
+        ("stock", 1u32, 1usize),
+        ("batched_drain", 8, 1),
+        ("chunked_migration", 1, 8),
+        ("both", 8, 8),
+    ] {
+        let mut config = HmmConfig::new(geometry);
+        config.fault_batch = batch;
+        config.migration_chunk_pages = chunk;
+        let trace = workload.trace(1);
+        let out = Executor::new(ExecutorConfig::default())
+            .run(Hmm::new(config), trace.iter().cloned());
+        println!(
+            "ablate_hmm {name}: elapsed {} ({}x of BaM's {})",
+            out.elapsed,
+            out.elapsed.as_secs_f64() / bam.elapsed.as_secs_f64(),
+            bam.elapsed
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let trace = workload.trace(1);
+            b.iter(|| {
+                black_box(
+                    Executor::new(ExecutorConfig::default())
+                        .run(Hmm::new(*config), trace.iter().cloned())
+                        .elapsed,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bypass_threshold,
+    bench_tier2_insert_mode,
+    bench_transfer_method,
+    bench_sampling,
+    bench_prefetch,
+    bench_markov_scope,
+    bench_predictor,
+    bench_hmm_generosity
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches over the tiering systems themselves: one
+//! representative workload per reuse class, all four systems (the Fig. 8
+//! comparison under a timing harness at reduced scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmt_analysis::runner::{geometry_for, run_system, SystemKind};
+use gmt_core::PolicyKind;
+use gmt_workloads::{
+    hotspot::Hotspot, lavamd::LavaMd, srad::Srad, Workload, WorkloadScale,
+};
+use std::hint::black_box;
+
+fn bench_systems(c: &mut Criterion) {
+    let scale = WorkloadScale::pages(800);
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(LavaMd::with_scale(&scale)),   // Tier-1 biased
+        Box::new(Srad::with_scale(&scale)),     // Tier-2 biased
+        Box::new(Hotspot::with_scale(&scale)),  // Tier-3 biased
+    ];
+    let systems = [
+        SystemKind::Bam,
+        SystemKind::Hmm,
+        SystemKind::Gmt(PolicyKind::TierOrder),
+        SystemKind::Gmt(PolicyKind::Random),
+        SystemKind::Gmt(PolicyKind::Reuse),
+    ];
+    let mut group = c.benchmark_group("systems");
+    group.sample_size(10);
+    for workload in &workloads {
+        let geometry = geometry_for(workload.as_ref(), 4.0, 2.0);
+        for system in systems {
+            group.bench_with_input(
+                BenchmarkId::new(system.name(), workload.name()),
+                &system,
+                |b, &system| {
+                    b.iter(|| {
+                        black_box(run_system(workload.as_ref(), system, &geometry, 1))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the substrate data structures: the structures the
+//! GPU-side runtime exercises on every access must be cheap, and these
+//! benches guard their costs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gmt_mem::{ClockList, FifoCache, PageId};
+use gmt_reuse::{MarkovPredictor, Ols, ReuseTracker};
+use gmt_sim::{Time, Zipf};
+use gmt_ssd::{SsdConfig, SsdDevice};
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock");
+    group.bench_function("touch_hit", |b| {
+        let mut clock = ClockList::new(4096);
+        for p in 0..4096 {
+            clock.insert(PageId(p));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            black_box(clock.touch(PageId(i)))
+        });
+    });
+    group.bench_function("replace_candidate", |b| {
+        let mut clock = ClockList::new(4096);
+        for p in 0..4096 {
+            clock.insert(PageId(p));
+        }
+        let mut next = 4096u64;
+        b.iter(|| {
+            next += 1;
+            black_box(clock.replace_candidate(PageId(next)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    c.bench_function("fifo/insert_evicting", |b| {
+        let mut cache = FifoCache::new(4096);
+        let mut next = 0u64;
+        b.iter(|| {
+            next += 1;
+            black_box(cache.insert_evicting(PageId(next)))
+        });
+    });
+}
+
+fn bench_olken(c: &mut Criterion) {
+    c.bench_function("olken/record_zipf_stream", |b| {
+        let zipf = Zipf::new(1 << 16, 0.8);
+        let mut rng = gmt_sim::rng::seeded(3);
+        b.iter_batched(
+            ReuseTracker::new,
+            |mut tracker| {
+                for _ in 0..1_000 {
+                    tracker.record(PageId(zipf.sample(&mut rng)));
+                }
+                tracker
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_ssd(c: &mut Criterion) {
+    c.bench_function("ssd/submit_page_read", |b| {
+        let mut ssd = SsdDevice::new(SsdConfig::default());
+        let mut offset = 0u64;
+        b.iter(|| {
+            offset += 65_536;
+            black_box(ssd.read(Time::ZERO, offset, 65_536))
+        });
+    });
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    c.bench_function("markov/reinforce_and_predict", |b| {
+        let mut markov = MarkovPredictor::new();
+        let mut rng = gmt_sim::rng::seeded(9);
+        b.iter(|| {
+            let from = gmt_mem::Tier::from_index(rng.gen_range(0..3));
+            let to = gmt_mem::Tier::from_index(rng.gen_range(0..3));
+            markov.reinforce(from, to);
+            black_box(markov.predict(from))
+        });
+    });
+    c.bench_function("ols/add_sample", |b| {
+        let mut ols = Ols::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 1.0;
+            ols.add(x, 2.0 * x + 1.0);
+            black_box(ols.samples())
+        });
+    });
+}
+
+criterion_group!(benches, bench_clock, bench_fifo, bench_olken, bench_ssd, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benches regenerating the Fig. 6 transfer micro-benchmarks under
+//! Criterion timing (the figure *values* come from the `fig6a`/`fig6b`
+//! binaries; these benches keep the models' host-side cost visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmt_bench::{batch_transfer_bandwidth, zipf_delivered_bandwidth};
+use gmt_pcie::TransferMethod;
+use std::hint::black_box;
+
+fn bench_fig6a_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6a");
+    for n in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("dma", n), &n, |b, &n| {
+            b.iter(|| black_box(batch_transfer_bandwidth(TransferMethod::DmaAsync, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("zero_copy", n), &n, |b, &n| {
+            b.iter(|| black_box(batch_transfer_bandwidth(TransferMethod::ZeroCopy, n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6b_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6b");
+    group.sample_size(10);
+    for skew in [0.0f64, 0.99] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid32", format!("{skew:.2}")),
+            &skew,
+            |b, &skew| {
+                b.iter(|| {
+                    black_box(zipf_delivered_bandwidth(
+                        TransferMethod::hybrid_32t(),
+                        skew,
+                        4096,
+                        500,
+                        3,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6a_points, bench_fig6b_points);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates Fig. 12: GMT-Reuse speedup over BaM as the Tier-2:Tier-1
+//! capacity ratio grows (2, 4, 8) — dataset and Tier-1 held fixed, Tier-2
+//! grown, exactly as the paper's caption (16 GB : 32/64/128 GB).
+//!
+//! Run with `cargo run -p gmt-bench --release --bin fig12`.
+
+use gmt_analysis::runner::{geo_mean, geometry_for, run_system, SystemKind};
+use gmt_analysis::table::{fmt_ratio, Table};
+use gmt_bench::{bench_seed, bench_tier1_pages};
+use gmt_core::PolicyKind;
+use gmt_mem::TierGeometry;
+use gmt_workloads::{suite, WorkloadScale};
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    let ratios = [2.0f64, 4.0, 8.0];
+    println!("Fig. 12: GMT-Reuse speedup over BaM vs Tier-2:Tier-1 ratio");
+    println!("(Tier-1 = {tier1} pages and datasets fixed; Tier-2 grown)\n");
+    // Datasets are the Fig. 8 defaults (sized for ratio 4, OS 2) and stay
+    // fixed across the sweep, exactly like the paper's.
+    let scale = WorkloadScale::pages(((tier1 as f64) * 5.0 * 2.0).round() as usize);
+    let mut table = Table::new(vec!["Application", "ratio 2", "ratio 4", "ratio 8"]);
+    let mut means = vec![Vec::new(); ratios.len()];
+    for workload in suite(&scale) {
+        // Fix Tier-1 at the app's default geometry; grow only Tier-2.
+        let base = geometry_for(workload.as_ref(), 4.0, 2.0);
+        let mut row = vec![workload.name().to_string()];
+        for (ri, &ratio) in ratios.iter().enumerate() {
+            let geometry = TierGeometry {
+                tier2_pages: ((base.tier1_pages as f64) * ratio).round() as usize,
+                ..base
+            };
+            let bam = run_system(workload.as_ref(), SystemKind::Bam, &geometry, seed);
+            let reuse = run_system(
+                workload.as_ref(),
+                SystemKind::Gmt(PolicyKind::Reuse),
+                &geometry,
+                seed,
+            );
+            let speedup = reuse.speedup_over(&bam);
+            means[ri].push(speedup);
+            row.push(fmt_ratio(speedup));
+        }
+        table.row(row);
+    }
+    table.row(vec![
+        "geo-mean".into(),
+        fmt_ratio(geo_mean(means[0].iter().copied())),
+        fmt_ratio(geo_mean(means[1].iter().copied())),
+        fmt_ratio(geo_mean(means[2].iter().copied())),
+    ]);
+    gmt_analysis::table::emit(&table);
+    println!("(paper: speedups grow with the ratio, most for Tier-2-biased apps)");
+}

@@ -1,0 +1,66 @@
+//! Regenerates Fig. 14 and the §3.6 analysis: HMM and GMT-Reuse speedups
+//! over BaM, plus the "optimistic HMM" estimate (HMM credited with
+//! GMT-Reuse's hit rates).
+//!
+//! Run with `cargo run -p gmt-bench --release --bin fig14`.
+
+use gmt_analysis::runner::{geo_mean, optimistic_hmm_elapsed, SystemKind};
+use gmt_analysis::table::{fmt_ratio, Table};
+use gmt_bench::{bench_seed, bench_tier1_pages, prepared_suite, run_all};
+use gmt_core::PolicyKind;
+use gmt_sim::Dur;
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    let systems = [
+        SystemKind::Bam,
+        SystemKind::Hmm,
+        SystemKind::Gmt(PolicyKind::Reuse),
+    ];
+    println!("Fig. 14 / §3.6: Tier-1 = {tier1} pages, ratio 4, over-subscription 2\n");
+    let mut table = Table::new(vec![
+        "Application",
+        "HMM vs BaM",
+        "GMT-Reuse vs BaM",
+        "GMT-Reuse vs HMM",
+        "GMT-Reuse vs optimistic-HMM",
+    ]);
+    let (mut hmm_m, mut reuse_m, mut vs_hmm_m, mut vs_opt_m) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for p in prepared_suite(tier1, 4.0, 2.0) {
+        let results = run_all(&p, &systems, seed);
+        let (bam, hmm, reuse) = (&results[0], &results[1], &results[2]);
+        let opt_elapsed = optimistic_hmm_elapsed(
+            hmm,
+            reuse,
+            Dur::from_micros(130),
+            Dur::from_micros(50),
+        );
+        let hmm_speed = hmm.speedup_over(bam);
+        let reuse_speed = reuse.speedup_over(bam);
+        let vs_hmm = hmm.elapsed.as_secs_f64() / reuse.elapsed.as_secs_f64();
+        let vs_opt = opt_elapsed.as_secs_f64() / reuse.elapsed.as_secs_f64();
+        hmm_m.push(hmm_speed);
+        reuse_m.push(reuse_speed);
+        vs_hmm_m.push(vs_hmm);
+        vs_opt_m.push(vs_opt);
+        table.row(vec![
+            bam.workload.clone(),
+            fmt_ratio(hmm_speed),
+            fmt_ratio(reuse_speed),
+            fmt_ratio(vs_hmm),
+            fmt_ratio(vs_opt),
+        ]);
+    }
+    table.row(vec![
+        "geo-mean".into(),
+        fmt_ratio(geo_mean(hmm_m)),
+        fmt_ratio(geo_mean(reuse_m)),
+        fmt_ratio(geo_mean(vs_hmm_m)),
+        fmt_ratio(geo_mean(vs_opt_m)),
+    ]);
+    gmt_analysis::table::emit(&table);
+    println!("(paper: BaM outperforms HMM everywhere; GMT-Reuse is 357% faster than");
+    println!(" HMM on average and still 90.3% faster than the optimistic HMM)");
+}

@@ -1,0 +1,54 @@
+//! Regenerates Fig. 8a/8b: speedup over BaM and relative SSD I/O for the
+//! three GMT policies at the default configuration (ratio 4, OS 2).
+//!
+//! Run with `cargo run -p gmt-bench --release --bin fig8`.
+
+use gmt_analysis::runner::geo_mean;
+use gmt_analysis::table::{fmt_ratio, Table};
+use gmt_bench::{bench_seed, bench_tier1_pages, fig8_systems, prepared_suite, run_all};
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    let systems = fig8_systems();
+    println!("Fig. 8a/8b: Tier-1 = {tier1} pages, Tier-2 = 4x, over-subscription 2\n");
+    let mut speedups = Table::new(vec![
+        "Application",
+        "GMT-TierOrder",
+        "GMT-Random",
+        "GMT-Reuse",
+    ]);
+    let mut ios = Table::new(vec![
+        "Application",
+        "BaM SSD I/Os",
+        "TierOrder I/O vs BaM",
+        "Random I/O vs BaM",
+        "Reuse I/O vs BaM",
+    ]);
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
+    for p in prepared_suite(tier1, 4.0, 2.0) {
+        let results = run_all(&p, &systems, seed);
+        let (bam, rest) = results.split_first().expect("four systems");
+        let mut speed_row = vec![bam.workload.clone()];
+        let mut io_row = vec![bam.workload.clone(), bam.metrics.ssd_ios().to_string()];
+        for (i, r) in rest.iter().enumerate() {
+            let s = r.speedup_over(bam);
+            means[i].push(s);
+            speed_row.push(fmt_ratio(s));
+            io_row.push(fmt_ratio(r.io_ratio_vs(bam)));
+        }
+        speedups.row(speed_row);
+        ios.row(io_row);
+    }
+    speedups.row(vec![
+        "geo-mean".into(),
+        fmt_ratio(geo_mean(means[0].iter().copied())),
+        fmt_ratio(geo_mean(means[1].iter().copied())),
+        fmt_ratio(geo_mean(means[2].iter().copied())),
+    ]);
+    println!("Fig. 8a: speedup over BaM");
+    gmt_analysis::table::emit(&speedups);
+    println!("(paper averages: TierOrder 1.07x, Random 1.24x, Reuse 1.50x)\n");
+    println!("Fig. 8b: SSD I/O relative to BaM (lower is better)");
+    gmt_analysis::table::emit(&ios);
+}

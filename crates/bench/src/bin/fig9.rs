@@ -1,0 +1,32 @@
+//! Regenerates Fig. 9: GMT-Reuse tier-prediction accuracy per
+//! application (for the Fig. 8 configuration).
+//!
+//! Run with `cargo run -p gmt-bench --release --bin fig9`.
+
+use gmt_analysis::runner::{run_system, SystemKind};
+use gmt_analysis::table::{fmt_pct, Table};
+use gmt_bench::{bench_seed, bench_tier1_pages, prepared_suite};
+use gmt_core::PolicyKind;
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    println!("Fig. 9: GMT-Reuse prediction accuracy (Tier-1 = {tier1} pages, ratio 4, OS 2)\n");
+    let mut table = Table::new(vec!["Application", "graded predictions", "accuracy"]);
+    for p in prepared_suite(tier1, 4.0, 2.0) {
+        let r = run_system(
+            p.workload.as_ref(),
+            SystemKind::Gmt(PolicyKind::Reuse),
+            &p.geometry,
+            seed,
+        );
+        table.row(vec![
+            r.workload.clone(),
+            r.metrics.predictions.to_string(),
+            fmt_pct(r.metrics.prediction_accuracy()),
+        ]);
+    }
+    gmt_analysis::table::emit(&table);
+    println!("(paper: high accuracy on reuse-heavy apps; lavaMD low — too little");
+    println!(" history accumulates before its few reused pages are evicted)");
+}

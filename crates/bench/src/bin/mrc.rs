@@ -1,0 +1,41 @@
+//! Miss-ratio-curve analysis: for every workload, the LRU miss ratio at
+//! the Tier-1 and Tier-1+Tier-2 capacities — the quantitative version of
+//! Fig. 7's "where does the reuse fall" picture, plus the capacity each
+//! app would need for a 50 % miss ratio.
+//!
+//! Run with `cargo run -p gmt-bench --release --bin mrc`.
+
+use gmt_analysis::table::{fmt_pct, Table};
+use gmt_bench::{bench_seed, bench_tier1_pages, prepared_suite};
+use gmt_reuse::mrc::MissRatioCurve;
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    println!("Miss-ratio curves (Tier-1 = {tier1} pages, ratio 4, OS 2)\n");
+    let mut table = Table::new(vec![
+        "Application",
+        "miss @ |T1|",
+        "miss @ |T1|+|T2|",
+        "capacity for 50% miss",
+    ]);
+    for p in prepared_suite(tier1, 4.0, 2.0) {
+        let touches = p
+            .workload
+            .trace(seed)
+            .into_iter()
+            .flat_map(|a| a.pages.iter().collect::<Vec<_>>());
+        let mrc = MissRatioCurve::from_trace(touches);
+        let t1 = p.geometry.tier1_pages;
+        let t12 = t1 + p.geometry.tier2_pages;
+        table.row(vec![
+            p.workload.name().to_string(),
+            fmt_pct(mrc.miss_ratio(t1)),
+            fmt_pct(mrc.miss_ratio(t12)),
+            mrc.capacity_for(0.5).map_or("unreachable".into(), |c| c.to_string()),
+        ]);
+    }
+    gmt_analysis::table::emit(&table);
+    println!("The gap between the two columns is the ceiling on what any Tier-2");
+    println!("policy can recover; GMT-Reuse's Fig. 8 speedups track it.");
+}

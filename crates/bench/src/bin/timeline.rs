@@ -1,0 +1,56 @@
+//! Warm-up timeline: Tier-2 hit rate and prediction accuracy over the
+//! course of one run, with the regression pipelined (the paper's design)
+//! vs withheld until sampling ends (the alternative §2.1.3 argues
+//! against).
+//!
+//! Run with `cargo run -p gmt-bench --release --bin timeline`.
+
+use gmt_analysis::runner::geometry_for;
+use gmt_analysis::table::{fmt_pct, Table};
+use gmt_analysis::timeline::run_gmt_timeline;
+use gmt_bench::{bench_seed, bench_tier1_pages};
+use gmt_core::GmtConfig;
+use gmt_gpu::ExecutorConfig;
+use gmt_workloads::{synthetic::ZipfLoop, WorkloadScale};
+
+fn main() {
+    let tier1 = bench_tier1_pages();
+    let seed = bench_seed();
+    // A skewed point-access loop: hot pages re-touch constantly, so VTD
+    // (non-unique) wildly overestimates RD (unique) and the regression's
+    // correction is what unlocks Tier-2 placement. Exactly the situation
+    // the pipelined design helps early.
+    let workload =
+        ZipfLoop::new(&WorkloadScale::pages(tier1 * 10), 0.8, 0.1, tier1 * 80);
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    println!("Warm-up timeline on a Zipf(0.8) loop (Tier-1 = {} pages)\n", geometry.tier1_pages);
+
+    let mut piped_cfg = GmtConfig::new(geometry);
+    piped_cfg.reuse.sampler.pipelined = true;
+    let mut held_cfg = GmtConfig::new(geometry);
+    held_cfg.reuse.sampler.pipelined = false;
+    let exec = ExecutorConfig::default();
+    let snapshots = 10;
+    let piped = run_gmt_timeline(&workload, &piped_cfg, &exec, seed, snapshots);
+    let held = run_gmt_timeline(&workload, &held_cfg, &exec, seed, snapshots);
+
+    let mut table = Table::new(vec![
+        "accesses",
+        "pipelined T2 hit rate",
+        "withheld T2 hit rate",
+        "pipelined pred. accuracy",
+        "withheld pred. accuracy",
+    ]);
+    for (p, h) in piped.iter().zip(&held) {
+        table.row(vec![
+            p.accesses.to_string(),
+            fmt_pct(p.metrics.t2_hit_rate()),
+            fmt_pct(h.metrics.t2_hit_rate()),
+            fmt_pct(p.metrics.prediction_accuracy()),
+            fmt_pct(h.metrics.prediction_accuracy()),
+        ]);
+    }
+    gmt_analysis::table::emit(&table);
+    println!("(paper §2.1.3: pipelining samples every 10 000 to the CPU \"results in");
+    println!(" better placement for the early part of the execution\")");
+}

@@ -1,0 +1,187 @@
+//! Fluent construction of [`Gmt`] runtimes.
+
+use gmt_mem::TierGeometry;
+use gmt_pcie::{HostLinkConfig, TransferMethod};
+use gmt_ssd::SsdConfig;
+
+use crate::{Gmt, GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
+
+/// A non-consuming builder for [`Gmt`] (and for the underlying
+/// [`GmtConfig`], when only the configuration is needed).
+///
+/// # Examples
+///
+/// ```
+/// use gmt_core::{GmtBuilder, PolicyKind};
+/// use gmt_mem::TierGeometry;
+///
+/// let gmt = GmtBuilder::new(TierGeometry::from_tier1(64, 4.0, 2.0))
+///     .policy(PolicyKind::Reuse)
+///     .prefetch_degree(4)
+///     .async_eviction(true)
+///     .ssd_devices(2)
+///     .build();
+/// assert_eq!(gmt.config().prefetch_degree, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GmtBuilder {
+    config: GmtConfig,
+}
+
+impl GmtBuilder {
+    /// Starts from the paper's defaults on the given capacities.
+    pub fn new(geometry: TierGeometry) -> GmtBuilder {
+        GmtBuilder { config: GmtConfig::new(geometry) }
+    }
+
+    /// Sets the eviction placement policy (default: GMT-Reuse).
+    pub fn policy(&mut self, policy: PolicyKind) -> &mut GmtBuilder {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Sets the Tier-1 ⇄ Tier-2 transfer mechanism (default: Hybrid-32T).
+    pub fn transfer(&mut self, method: TransferMethod) -> &mut GmtBuilder {
+        self.config.transfer = method;
+        self
+    }
+
+    /// Overrides the Tier-2 insertion mode (default: per-policy).
+    pub fn tier2_insert(&mut self, mode: Tier2Insert) -> &mut GmtBuilder {
+        self.config.tier2_insert = Some(mode);
+        self
+    }
+
+    /// Sets the PCIe path calibration.
+    pub fn host_link(&mut self, link: HostLinkConfig) -> &mut GmtBuilder {
+        self.config.host_link = link;
+        self
+    }
+
+    /// Sets the SSD calibration.
+    pub fn ssd(&mut self, ssd: SsdConfig) -> &mut GmtBuilder {
+        self.config.ssd = ssd;
+        self
+    }
+
+    /// Stripes Tier-3 across `devices` identical SSDs (default: 1).
+    pub fn ssd_devices(&mut self, devices: usize) -> &mut GmtBuilder {
+        self.config.ssd_devices = devices;
+        self
+    }
+
+    /// Sets the §2.2 Tier-3-pressure bypass threshold (default: 0.8).
+    pub fn bypass_threshold(&mut self, threshold: f64) -> &mut GmtBuilder {
+        self.config.reuse.bypass_threshold = threshold;
+        self
+    }
+
+    /// Sets the Markov predictor scope (default: global).
+    pub fn markov_scope(&mut self, scope: MarkovScope) -> &mut GmtBuilder {
+        self.config.reuse.markov_scope = scope;
+        self
+    }
+
+    /// Sets the history predictor (default: the paper's Markov chain).
+    pub fn predictor(&mut self, predictor: PredictorKind) -> &mut GmtBuilder {
+        self.config.reuse.predictor = predictor;
+        self
+    }
+
+    /// Sets the VTD sample budget (default: 200 000 pairs).
+    pub fn sample_budget(&mut self, budget: usize) -> &mut GmtBuilder {
+        self.config.reuse.sampler.sample_budget = budget;
+        self
+    }
+
+    /// Enables sequential prefetching of `degree` pages (default: 0, off).
+    pub fn prefetch_degree(&mut self, degree: usize) -> &mut GmtBuilder {
+        self.config.prefetch_degree = degree;
+        self
+    }
+
+    /// Moves eviction transfers off the critical path (default: false).
+    pub fn async_eviction(&mut self, enabled: bool) -> &mut GmtBuilder {
+        self.config.async_eviction = enabled;
+        self
+    }
+
+    /// Sets the seed for stochastic choices (default: fixed).
+    pub fn seed(&mut self, seed: u64) -> &mut GmtBuilder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> GmtConfig {
+        self.config
+    }
+
+    /// Builds the runtime.
+    pub fn build(&self) -> Gmt {
+        Gmt::new(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> TierGeometry {
+        TierGeometry::from_tier1(32, 4.0, 2.0)
+    }
+
+    #[test]
+    fn builder_defaults_match_config_defaults() {
+        let built = GmtBuilder::new(geometry()).config();
+        assert_eq!(built, GmtConfig::new(geometry()));
+    }
+
+    #[test]
+    fn one_liner_and_staged_configuration_agree() {
+        let one_liner = GmtBuilder::new(geometry())
+            .policy(PolicyKind::Random)
+            .prefetch_degree(2)
+            .config();
+        let mut staged = GmtBuilder::new(geometry());
+        staged.policy(PolicyKind::Random);
+        staged.prefetch_degree(2);
+        assert_eq!(one_liner, staged.config());
+    }
+
+    #[test]
+    fn every_knob_reaches_the_config() {
+        let config = GmtBuilder::new(geometry())
+            .policy(PolicyKind::TierOrder)
+            .transfer(TransferMethod::DmaAsync)
+            .tier2_insert(Tier2Insert::EvictRandom)
+            .ssd_devices(4)
+            .bypass_threshold(0.5)
+            .markov_scope(MarkovScope::PerPage)
+            .sample_budget(1_000)
+            .prefetch_degree(8)
+            .async_eviction(true)
+            .seed(99)
+            .config();
+        assert_eq!(config.policy, PolicyKind::TierOrder);
+        assert_eq!(config.transfer, TransferMethod::DmaAsync);
+        assert_eq!(config.tier2_insert, Some(Tier2Insert::EvictRandom));
+        assert_eq!(config.ssd_devices, 4);
+        assert_eq!(config.reuse.bypass_threshold, 0.5);
+        assert_eq!(config.reuse.markov_scope, MarkovScope::PerPage);
+        assert_eq!(config.reuse.sampler.sample_budget, 1_000);
+        assert_eq!(config.prefetch_degree, 8);
+        assert!(config.async_eviction);
+        assert_eq!(config.seed, 99);
+    }
+
+    #[test]
+    fn build_produces_a_working_runtime() {
+        use gmt_gpu::MemoryBackend;
+        use gmt_mem::{PageId, WarpAccess};
+        use gmt_sim::Time;
+        let mut gmt = GmtBuilder::new(geometry()).build();
+        let done = gmt.access(Time::ZERO, &WarpAccess::read(PageId(0)));
+        assert!(done > Time::ZERO);
+    }
+}

@@ -1,0 +1,249 @@
+//! Configuration of the GMT runtime.
+
+use gmt_mem::TierGeometry;
+use gmt_pcie::{HostLinkConfig, TransferMethod};
+use gmt_reuse::SamplerConfig;
+use gmt_ssd::SsdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which Tier-1 eviction placement policy runs (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// GMT-TierOrder: every victim goes to Tier-2; Tier-2's own FIFO
+    /// spills to Tier-3 (§2.1.1).
+    TierOrder,
+    /// GMT-Random: a fair coin decides Tier-2 vs Tier-3 (§2.1.2).
+    Random,
+    /// GMT-Reuse: the RRD predictor decides Tier-1/Tier-2/Tier-3
+    /// (§2.1.3) — the paper's proposal.
+    Reuse,
+}
+
+impl PolicyKind {
+    /// All three policies, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::TierOrder, PolicyKind::Random, PolicyKind::Reuse];
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::TierOrder => "GMT-TierOrder",
+            PolicyKind::Random => "GMT-Random",
+            PolicyKind::Reuse => "GMT-Reuse",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happens when a victim should enter a full Tier-2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier2Insert {
+    /// Evict the oldest Tier-2 page (FIFO, §2.2) to make room — used by
+    /// GMT-TierOrder and GMT-Random.
+    EvictFifo,
+    /// Evict with a clock sweep (ablation; degenerates towards FIFO
+    /// because exclusive tiers never re-reference resident pages).
+    EvictClock,
+    /// Evict a uniformly random resident page (ablation).
+    EvictRandom,
+    /// Reject the insertion and bypass to Tier-3 — GMT-Reuse's choice,
+    /// since every Tier-2 resident is already in the same reuse
+    /// equivalence class (§2.1.3 "Overview").
+    RejectWhenFull,
+}
+
+/// Where the Markov predictor's 3×3 transition weights live.
+///
+/// The paper keeps per-page state "negligible"; sharing one global matrix
+/// is the default here, with a per-page variant for ablation (pages with
+/// idiosyncratic patterns predict better per-page; sparse histories train
+/// slower).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MarkovScope {
+    /// One transition matrix shared by all pages (default).
+    Global,
+    /// One transition matrix per page.
+    PerPage,
+}
+
+/// Which history predictor GMT-Reuse consults at eviction time.
+///
+/// The paper's Fig. 4c shows per-page RRDs that *alternate* between
+/// evictions — a pattern a 1-level "same as last time" predictor gets
+/// wrong every single time, which is exactly why §2.1.3 builds the
+/// 2-level-history Markov chain. The alternatives are kept for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// The paper's 3-state Markov chain over 2-level history (Fig. 5).
+    Markov,
+    /// Predict the page's last correct tier (1-level history).
+    LastTier,
+    /// Always predict Tier-2 (history-blind TierOrder-flavoured default).
+    AlwaysHost,
+}
+
+/// Knobs specific to GMT-Reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReuseConfig {
+    /// VTD sampling / regression pipeline parameters.
+    pub sampler: SamplerConfig,
+    /// Transition-weight sharing for the Markov predictor.
+    pub markov_scope: MarkovScope,
+    /// The history predictor (default: the paper's Markov chain).
+    pub predictor: PredictorKind,
+    /// Fraction of recent Tier-3 predictions beyond which predicted-Tier-3
+    /// victims are forced into Tier-2 anyway (paper §2.2: 80 %).
+    pub bypass_threshold: f64,
+    /// Number of recent evictions the threshold is measured over.
+    pub bypass_window: usize,
+    /// Maximum short-reuse candidates skipped per eviction before the
+    /// clock's pick is evicted regardless (guards against livelock when
+    /// every resident page predicts short-reuse).
+    pub max_skips: usize,
+}
+
+impl Default for ReuseConfig {
+    fn default() -> ReuseConfig {
+        ReuseConfig {
+            sampler: SamplerConfig::default(),
+            markov_scope: MarkovScope::Global,
+            predictor: PredictorKind::Markov,
+            bypass_threshold: 0.8,
+            bypass_window: 128,
+            max_skips: 8,
+        }
+    }
+}
+
+/// Full configuration of a [`crate::Gmt`] instance.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_core::{GmtConfig, PolicyKind};
+/// use gmt_mem::TierGeometry;
+///
+/// let config = GmtConfig {
+///     policy: PolicyKind::Reuse,
+///     ..GmtConfig::new(TierGeometry::default())
+/// };
+/// assert_eq!(config.policy, PolicyKind::Reuse);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmtConfig {
+    /// Tier capacities.
+    pub geometry: TierGeometry,
+    /// Eviction placement policy.
+    pub policy: PolicyKind,
+    /// Tier-1 ⇄ Tier-2 transfer mechanism (paper default: Hybrid-32T).
+    pub transfer: TransferMethod,
+    /// Tier-2 insertion behaviour when full. `None` picks the paper's
+    /// default for the policy (FIFO for TierOrder/Random, reject for
+    /// Reuse).
+    pub tier2_insert: Option<Tier2Insert>,
+    /// PCIe GPU ⇄ host path calibration.
+    pub host_link: HostLinkConfig,
+    /// SSD calibration.
+    pub ssd: SsdConfig,
+    /// Number of identical SSDs striped at page granularity (BaM-style
+    /// arrays; the paper's platform has 1).
+    pub ssd_devices: usize,
+    /// GMT-Reuse knobs.
+    pub reuse: ReuseConfig,
+    /// Sequential prefetch degree: on every demand SSD fetch of page `p`,
+    /// also fetch up to this many following pages in the background.
+    /// `0` (the default) reproduces the paper's demand-only movement
+    /// (§2 common parameter 2); non-zero values implement the
+    /// prefetching extension the paper leaves open.
+    pub prefetch_degree: usize,
+    /// Perform eviction transfers asynchronously instead of on the
+    /// faulting warp's critical path — the §5 "future work" background
+    /// orchestration. Defaults to `false` (the published behaviour).
+    pub async_eviction: bool,
+    /// Seed for GMT-Random's coin and any other stochastic choice.
+    pub seed: u64,
+}
+
+impl GmtConfig {
+    /// The paper's default runtime for the given capacities: GMT-Reuse
+    /// with Hybrid-32T transfers.
+    pub fn new(geometry: TierGeometry) -> GmtConfig {
+        GmtConfig {
+            geometry,
+            policy: PolicyKind::Reuse,
+            transfer: TransferMethod::hybrid_32t(),
+            tier2_insert: None,
+            host_link: HostLinkConfig::default(),
+            ssd: SsdConfig::default(),
+            ssd_devices: 1,
+            reuse: ReuseConfig::default(),
+            prefetch_degree: 0,
+            async_eviction: false,
+            seed: 0x6d74, // "mt"
+        }
+    }
+
+    /// Same configuration with a different policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> GmtConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// The effective Tier-2 insertion mode (resolving the per-policy
+    /// default).
+    pub fn effective_tier2_insert(&self) -> Tier2Insert {
+        self.tier2_insert.unwrap_or(match self.policy {
+            PolicyKind::TierOrder | PolicyKind::Random => Tier2Insert::EvictFifo,
+            PolicyKind::Reuse => Tier2Insert::RejectWhenFull,
+        })
+    }
+}
+
+impl Default for GmtConfig {
+    fn default() -> GmtConfig {
+        GmtConfig::new(TierGeometry::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_match_paper() {
+        assert_eq!(PolicyKind::Reuse.to_string(), "GMT-Reuse");
+        assert_eq!(PolicyKind::TierOrder.to_string(), "GMT-TierOrder");
+        assert_eq!(PolicyKind::Random.to_string(), "GMT-Random");
+    }
+
+    #[test]
+    fn tier2_insert_defaults_follow_policy() {
+        let base = GmtConfig::default();
+        assert_eq!(
+            base.with_policy(PolicyKind::TierOrder).effective_tier2_insert(),
+            Tier2Insert::EvictFifo
+        );
+        assert_eq!(
+            base.with_policy(PolicyKind::Reuse).effective_tier2_insert(),
+            Tier2Insert::RejectWhenFull
+        );
+    }
+
+    #[test]
+    fn explicit_tier2_insert_overrides() {
+        let mut c = GmtConfig::default();
+        c.tier2_insert = Some(Tier2Insert::EvictFifo);
+        assert_eq!(c.effective_tier2_insert(), Tier2Insert::EvictFifo);
+    }
+
+    #[test]
+    fn default_reuse_knobs_match_paper() {
+        let r = ReuseConfig::default();
+        assert_eq!(r.bypass_threshold, 0.8);
+        assert_eq!(r.sampler.batch_size, 10_000);
+    }
+}

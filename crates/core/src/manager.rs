@@ -1,0 +1,954 @@
+//! The 3-tier memory manager.
+
+use std::collections::VecDeque;
+
+use gmt_gpu::MemoryBackend;
+use gmt_mem::{ClockList, PageId, PageTable, Tier, WarpAccess};
+use gmt_pcie::{HostLink, TransferBatch};
+use gmt_reuse::{MarkovPredictor, PageHistory, SamplingRegression, TierClassifier};
+use gmt_sim::Time;
+use gmt_ssd::array::{ArrayConfig, SsdArray};
+use gmt_ssd::host_io::{HostIo, HostIoConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tier2::Tier2Cache;
+use crate::{GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert, TieringMetrics};
+
+/// Per-page state maintained by the runtime.
+#[derive(Debug, Clone)]
+struct PageMeta {
+    /// Which tier currently holds the page.
+    tier: Tier,
+    /// Whether the page has been modified since it last left the SSD.
+    dirty: bool,
+    /// When the page's in-flight transfer (if any) completes.
+    ready_at: Time,
+    /// Virtual-timestamp value at the page's last Tier-1 eviction, used to
+    /// compute the actual RVTD when the page returns (§2.1.3 step 2).
+    evicted_at_vt: Option<u64>,
+    /// Page touches since the page last entered Tier-1 (1 = the demand
+    /// fill itself). Distinguishes streaming pages from reused ones when
+    /// no eviction history exists yet.
+    touches_since_load: u32,
+    /// The tier GMT-Reuse predicted at the last eviction (for Fig. 9).
+    predicted: Option<Tier>,
+    /// Last two known correct tiers (drives the Markov predictor).
+    history: PageHistory,
+}
+
+impl Default for PageMeta {
+    fn default() -> PageMeta {
+        PageMeta {
+            tier: Tier::Ssd,
+            dirty: false,
+            ready_at: Time::ZERO,
+            evicted_at_vt: None,
+            touches_since_load: 0,
+            predicted: None,
+            history: PageHistory::default(),
+        }
+    }
+}
+
+/// Sliding window over recent eviction predictions for the 80 %
+/// Tier-3-pressure heuristic (§2.2).
+#[derive(Debug, Clone)]
+struct BypassWindow {
+    recent: VecDeque<bool>,
+    t3_count: usize,
+    capacity: usize,
+}
+
+impl BypassWindow {
+    fn new(capacity: usize) -> BypassWindow {
+        BypassWindow { recent: VecDeque::with_capacity(capacity), t3_count: 0, capacity }
+    }
+
+    fn push(&mut self, predicted_t3: bool) {
+        if self.recent.len() == self.capacity {
+            if self.recent.pop_front().expect("window non-empty") {
+                self.t3_count -= 1;
+            }
+        }
+        self.recent.push_back(predicted_t3);
+        if predicted_t3 {
+            self.t3_count += 1;
+        }
+    }
+
+    /// Fraction of recent evictions predicted Tier-3; `None` until the
+    /// window has filled once.
+    fn t3_fraction(&self) -> Option<f64> {
+        (self.recent.len() == self.capacity)
+            .then(|| self.t3_count as f64 / self.capacity as f64)
+    }
+}
+
+/// Histograms of miss-service latencies, per source tier.
+///
+/// The paper's §3.4 grounds its analysis in two numbers — a host-memory
+/// fetch costs ≈50 µs and an SSD fetch ≈130 µs. These distributions are
+/// the simulated equivalents, measured per miss at the warp's
+/// observation point (including queueing).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyBreakdown {
+    /// Service time of Tier-1 misses satisfied from host memory (ns).
+    pub tier2_fetch_ns: gmt_sim::stats::Histogram,
+    /// Service time of Tier-1 misses satisfied from the SSD (ns).
+    pub ssd_fetch_ns: gmt_sim::stats::Histogram,
+}
+
+/// A consistency snapshot of the runtime's tier state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Pages resident in Tier-1 (GPU memory).
+    pub tier1_pages: usize,
+    /// Pages resident in Tier-2 (host memory).
+    pub tier2_pages: usize,
+    /// Pages resident only on the SSD.
+    pub ssd_pages: usize,
+    /// Dirty pages in Tier-1.
+    pub dirty_tier1: usize,
+    /// Dirty pages in Tier-2 (not yet written back).
+    pub dirty_tier2: usize,
+}
+
+/// The GMT runtime (paper §2).
+///
+/// Implements [`MemoryBackend`]: feed it coalesced warp accesses via
+/// [`gmt_gpu::Executor`] and read the [`TieringMetrics`] afterwards.
+///
+/// Like the paper's measurements, a run ends when the last access's data
+/// is available: dirty pages still resident in Tier-1/Tier-2 are *not*
+/// flushed at the end (the same convention applies to BaM and HMM, so
+/// comparisons stay like-for-like; `snapshot()` exposes the residual
+/// dirty state).
+///
+/// # Examples
+///
+/// ```
+/// use gmt_core::{Gmt, GmtConfig, PolicyKind};
+/// use gmt_gpu::{Executor, ExecutorConfig};
+/// use gmt_mem::{PageId, TierGeometry, WarpAccess};
+///
+/// let geometry = TierGeometry::from_tier1(64, 4.0, 2.0);
+/// let gmt = Gmt::new(GmtConfig::new(geometry).with_policy(PolicyKind::Reuse));
+/// let trace = (0..3u64).flat_map(|_| (0..640).map(|p| WarpAccess::read(PageId(p))));
+/// let out = Executor::new(ExecutorConfig::default()).run(gmt, trace);
+/// let metrics = out.backend.metrics();
+/// assert!(metrics.t1_misses > 0);
+/// ```
+#[derive(Debug)]
+pub struct Gmt {
+    config: GmtConfig,
+    tier2_insert: Tier2Insert,
+    classifier: TierClassifier,
+    clock: ClockList,
+    tier2: Tier2Cache,
+    table: PageTable<PageMeta>,
+    /// The coalesced-access counter ("virtual timestamp", §2.1.3).
+    vt: u64,
+    sampler: SamplingRegression,
+    markov: MarkovPredictor,
+    /// Per-page matrices when [`MarkovScope::PerPage`] is configured.
+    per_page_markov: Option<Vec<MarkovPredictor>>,
+    ssd: SsdArray,
+    /// Host userspace I/O for Tier-2 → Tier-3 write-backs (libnvm, §2.3).
+    host_io: HostIo,
+    /// Host → device path (fetches from Tier-2).
+    to_gpu: HostLink,
+    /// Device → host path (evictions into Tier-2).
+    to_host: HostLink,
+    rng: StdRng,
+    bypass: BypassWindow,
+    metrics: TieringMetrics,
+    latency: LatencyBreakdown,
+}
+
+impl Gmt {
+    /// Builds a runtime from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero-capacity tiers.
+    pub fn new(config: GmtConfig) -> Gmt {
+        let g = &config.geometry;
+        Gmt {
+            tier2_insert: config.effective_tier2_insert(),
+            classifier: TierClassifier::from_geometry(g),
+            clock: ClockList::new(g.tier1_pages),
+            tier2: match config.effective_tier2_insert() {
+                Tier2Insert::EvictClock => Tier2Cache::clock(g.tier2_pages),
+                Tier2Insert::EvictRandom => {
+                    Tier2Cache::random(g.tier2_pages, gmt_sim::rng::derive(config.seed, 2))
+                }
+                _ => Tier2Cache::fifo(g.tier2_pages),
+            },
+            table: PageTable::new(g.total_pages),
+            vt: 0,
+            sampler: SamplingRegression::new(config.reuse.sampler),
+            markov: MarkovPredictor::new(),
+            per_page_markov: (config.reuse.markov_scope == MarkovScope::PerPage)
+                .then(|| vec![MarkovPredictor::new(); g.total_pages]),
+            ssd: SsdArray::new(ArrayConfig {
+                device: config.ssd,
+                devices: config.ssd_devices.max(1),
+                stripe_bytes: g.page_bytes,
+            }),
+            host_io: HostIo::new(HostIoConfig::default()),
+            to_gpu: HostLink::new(config.host_link),
+            to_host: HostLink::new(config.host_link),
+            rng: gmt_sim::rng::seeded(config.seed),
+            bypass: BypassWindow::new(config.reuse.bypass_window.max(1)),
+            metrics: TieringMetrics::default(),
+            latency: LatencyBreakdown::default(),
+            config,
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &GmtConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn metrics(&self) -> TieringMetrics {
+        self.metrics
+    }
+
+    /// Miss-service latency distributions (the §3.4 numbers, measured).
+    pub fn latency_breakdown(&self) -> &LatencyBreakdown {
+        &self.latency
+    }
+
+    /// The SSD device's own statistics (bytes, command counts).
+    pub fn ssd_stats(&self) -> gmt_ssd::SsdStats {
+        self.ssd.stats()
+    }
+
+    /// Pages currently resident in Tier-2.
+    pub fn tier2_occupancy(&self) -> usize {
+        self.tier2.len()
+    }
+
+    /// The regression fit currently used to project RVTD → RRD.
+    pub fn current_fit(&self) -> gmt_reuse::LinearFit {
+        self.sampler.fit()
+    }
+
+    /// Takes a consistency snapshot of where every page lives.
+    pub fn snapshot(&self) -> TierSnapshot {
+        let mut snap = TierSnapshot {
+            tier1_pages: 0,
+            tier2_pages: 0,
+            ssd_pages: 0,
+            dirty_tier1: 0,
+            dirty_tier2: 0,
+        };
+        for (_, meta) in self.table.iter() {
+            match meta.tier {
+                Tier::Gpu => {
+                    snap.tier1_pages += 1;
+                    snap.dirty_tier1 += meta.dirty as usize;
+                }
+                Tier::Host => {
+                    snap.tier2_pages += 1;
+                    snap.dirty_tier2 += meta.dirty as usize;
+                }
+                Tier::Ssd => snap.ssd_pages += 1,
+            }
+        }
+        snap
+    }
+
+    /// Verifies the runtime's structural invariants: the page table, the
+    /// Tier-1 clock and the Tier-2 residency structure must agree, and
+    /// every page must live in exactly one tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant. Intended
+    /// for tests and debugging; O(total pages).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let snap = self.snapshot();
+        if snap.tier1_pages != self.clock.len() {
+            return Err(format!(
+                "page table says {} Tier-1 pages but the clock holds {}",
+                snap.tier1_pages,
+                self.clock.len()
+            ));
+        }
+        if snap.tier2_pages != self.tier2.len() {
+            return Err(format!(
+                "page table says {} Tier-2 pages but tier-2 holds {}",
+                snap.tier2_pages,
+                self.tier2.len()
+            ));
+        }
+        if snap.tier1_pages + snap.tier2_pages + snap.ssd_pages != self.table.len() {
+            return Err("tiers do not partition the address space".into());
+        }
+        for (page, meta) in self.table.iter() {
+            let in_clock = self.clock.contains(page);
+            let in_tier2 = self.tier2.contains(page);
+            match meta.tier {
+                Tier::Gpu if !in_clock => {
+                    return Err(format!("{page} marked Tier-1 but absent from the clock"));
+                }
+                Tier::Host if !in_tier2 => {
+                    return Err(format!("{page} marked Tier-2 but absent from tier-2"));
+                }
+                Tier::Ssd if in_clock || in_tier2 => {
+                    return Err(format!("{page} marked SSD but resident in a memory tier"));
+                }
+                _ => {}
+            }
+            if in_clock && in_tier2 {
+                return Err(format!("{page} duplicated across tiers"));
+            }
+        }
+        Ok(())
+    }
+
+    fn page_bytes(&self) -> u64 {
+        self.config.geometry.page_bytes
+    }
+
+    fn ssd_offset(&self, page: PageId) -> u64 {
+        page.0 * self.page_bytes()
+    }
+
+    /// Bookkeeping when `page` re-enters Tier-1: its actual RVTD since the
+    /// last eviction is now known, so the correct tier can be computed
+    /// (Eq. 1 over the regression-projected RRD), the Markov chain
+    /// trained, and the old prediction graded (Fig. 9).
+    fn on_refill(&mut self, page: PageId) {
+        let fit = self.sampler.fit();
+        let vt = self.vt;
+        let classifier = self.classifier;
+        let meta = self.table.get_mut(page);
+        if let Some(evicted_vt) = meta.evicted_at_vt.take() {
+            let rvtd = vt.saturating_sub(evicted_vt);
+            let correct = classifier.classify_rvtd(rvtd, &fit);
+            if let Some(predicted) = meta.predicted.take() {
+                self.metrics.predictions += 1;
+                if predicted == correct {
+                    self.metrics.predictions_correct += 1;
+                }
+            }
+            let mut history = meta.history;
+            let matrix = match &mut self.per_page_markov {
+                Some(per_page) => &mut per_page[page.index()],
+                None => &mut self.markov,
+            };
+            history.observe(correct, matrix);
+            self.table.get_mut(page).history = history;
+        }
+    }
+
+    /// Predicts the tier an eviction candidate's next reuse falls into.
+    ///
+    /// With history, this is the Markov chain's heaviest transition out of
+    /// the last correct tier (§2.1.3 step 2). A page with no completed
+    /// round trip falls back to a default strategy (the paper proceeds
+    /// with a default until enough signal accumulates): pages that were
+    /// never re-touched during their Tier-1 residency look like streams
+    /// and default to the long-reuse class; anything with observed reuse
+    /// defaults to Tier-2, TierOrder-style.
+    fn predict_tier(&self, page: PageId) -> Tier {
+        let meta = self.table.get(page);
+        match meta.history.last() {
+            Some(last) => match self.config.reuse.predictor {
+                PredictorKind::Markov => match &self.per_page_markov {
+                    Some(per_page) => per_page[page.index()].predict(last),
+                    None => self.markov.predict(last),
+                },
+                PredictorKind::LastTier => last,
+                PredictorKind::AlwaysHost => Tier::Host,
+            },
+            None if meta.touches_since_load <= 1 => Tier::Ssd,
+            None => Tier::Host,
+        }
+    }
+
+    /// Selects a victim and destination under GMT-Reuse: short-reuse
+    /// candidates get another chance (bounded by `max_skips`), and the
+    /// 80 % heuristic can force predicted-Tier-3 victims into Tier-2.
+    fn reuse_select(&mut self) -> (PageId, Tier, Tier) {
+        for _ in 0..self.config.reuse.max_skips {
+            let candidate = self.clock.candidate().expect("tier-1 is full");
+            let predicted = self.predict_tier(candidate);
+            if predicted == Tier::Gpu {
+                self.metrics.short_reuse_keeps += 1;
+                self.clock.skip_candidate();
+                continue;
+            }
+            self.bypass.push(predicted == Tier::Ssd);
+            let mut target = predicted;
+            if predicted == Tier::Ssd {
+                if let Some(f) = self.bypass.t3_fraction() {
+                    if f > self.config.reuse.bypass_threshold {
+                        target = Tier::Host;
+                        self.metrics.forced_t2_placements += 1;
+                    }
+                }
+            }
+            let victim = self.clock.evict_candidate();
+            debug_assert_eq!(victim, candidate);
+            return (victim, target, predicted);
+        }
+        // Everything looks short-reuse: evict the clock's pick anyway.
+        let victim = self.clock.evict_candidate();
+        self.bypass.push(false);
+        (victim, Tier::Host, Tier::Gpu)
+    }
+
+    /// Evicts one page from Tier-1 to make room; returns when the warp
+    /// performing the eviction is done with it.
+    fn evict_one(&mut self, now: Time) -> Time {
+        let (victim, target, predicted) = match self.config.policy {
+            PolicyKind::TierOrder => {
+                let v = self.clock.evict_candidate();
+                (v, Tier::Host, Tier::Host)
+            }
+            PolicyKind::Random => {
+                let v = self.clock.evict_candidate();
+                let t = if self.rng.gen_bool(0.5) { Tier::Host } else { Tier::Ssd };
+                (v, t, t)
+            }
+            PolicyKind::Reuse => self.reuse_select(),
+        };
+        self.metrics.t1_evictions += 1;
+        {
+            let vt = self.vt;
+            let meta = self.table.get_mut(victim);
+            meta.evicted_at_vt = Some(vt);
+            meta.predicted = (self.config.policy == PolicyKind::Reuse).then_some(predicted);
+        }
+        match target {
+            Tier::Host => self.place_in_tier2(now, victim),
+            _ => self.bypass_to_ssd(now, victim),
+        }
+    }
+
+    /// Places `victim` into Tier-2, spilling or rejecting per the
+    /// configured insertion mode. Returns the eviction's critical-path
+    /// completion time.
+    fn place_in_tier2(&mut self, now: Time, victim: PageId) -> Time {
+        let inserted = match self.tier2_insert {
+            Tier2Insert::RejectWhenFull => self.tier2.insert_if_room(victim),
+            _ => {
+                if let Some(t2_victim) = self.tier2.insert_evicting(victim) {
+                    self.drop_from_tier2(now, t2_victim);
+                }
+                true
+            }
+        };
+        if !inserted {
+            return self.bypass_to_ssd(now, victim);
+        }
+        self.metrics.t2_placements += 1;
+        let batch =
+            TransferBatch { pages: 1, page_bytes: self.page_bytes(), threads: 32 };
+        let done = self.to_host.transfer(now, batch, self.config.transfer);
+        self.table.get_mut(victim).tier = Tier::Host;
+        self.table.get_mut(victim).ready_at = done;
+        done
+    }
+
+    /// Handles a page leaving Tier-2 (FIFO spill): dirty pages are written
+    /// back by host userspace I/O, off the GPU's critical path.
+    fn drop_from_tier2(&mut self, now: Time, t2_victim: PageId) {
+        let dirty = {
+            let meta = self.table.get_mut(t2_victim);
+            let dirty = meta.dirty;
+            meta.tier = Tier::Ssd;
+            meta.dirty = false;
+            dirty
+        };
+        if dirty {
+            self.metrics.t2_writebacks += 1;
+            let offset = self.ssd_offset(t2_victim);
+            let bytes = self.page_bytes();
+            // Host userspace I/O: off the GPU's critical path (§2.3).
+            self.host_io.write(now, &mut self.ssd, offset, bytes);
+        } else {
+            self.metrics.t2_drops += 1;
+        }
+    }
+
+    /// Bypasses `victim` straight to Tier-3: clean pages are simply
+    /// dropped (their content is already on the SSD), dirty pages are
+    /// written by the evicting warp through the GPU-direct NVMe path.
+    fn bypass_to_ssd(&mut self, now: Time, victim: PageId) -> Time {
+        let dirty = {
+            let meta = self.table.get_mut(victim);
+            let dirty = meta.dirty;
+            meta.tier = Tier::Ssd;
+            meta.dirty = false;
+            dirty
+        };
+        if dirty {
+            self.metrics.ssd_writes += 1;
+            let offset = self.ssd_offset(victim);
+            let bytes = self.page_bytes();
+            self.ssd.write(now, offset, bytes)
+        } else {
+            self.metrics.discards += 1;
+            now
+        }
+    }
+}
+
+impl Gmt {
+    /// Speculatively pulls `page` from the SSD into Tier-1 without gating
+    /// any warp. No-op if the page is outside the address space, already
+    /// off the SSD, or Tier-1 churn would be required and the clock's
+    /// candidate is busy — prefetching never forces an eviction beyond
+    /// what the policy would do anyway.
+    fn prefetch(&mut self, now: Time, page: PageId) {
+        if page.index() >= self.table.len() || self.table.get(page).tier != Tier::Ssd {
+            return;
+        }
+        if self.clock.is_full() {
+            self.evict_one(now);
+        }
+        self.metrics.prefetches += 1;
+        let offset = self.ssd_offset(page);
+        let bytes = self.page_bytes();
+        let done = self.ssd.read(now, offset, bytes);
+        self.clock.insert(page);
+        self.on_refill(page);
+        let meta = self.table.get_mut(page);
+        meta.tier = Tier::Gpu;
+        meta.ready_at = done;
+        meta.touches_since_load = 0;
+    }
+}
+
+impl MemoryBackend for Gmt {
+    fn access(&mut self, now: Time, access: &WarpAccess) -> Time {
+        self.metrics.accesses += 1;
+        let mut ready = now;
+        let mut tier2_fetches: Vec<PageId> = Vec::new();
+        let mut ssd_fetches: Vec<PageId> = Vec::new();
+        for page in access.pages.iter() {
+            assert!(
+                page.index() < self.table.len(),
+                "page {page} outside the configured address space"
+            );
+            // One coalesced transaction per distinct page: the virtual
+            // timestamp advances per transaction (§2.1.3), keeping RVTD in
+            // the same distinct-touch units the regression is trained on.
+            self.vt += 1;
+            if !self.sampler.is_complete() {
+                self.sampler.observe(page);
+            }
+            let meta = self.table.get(page);
+            match meta.tier {
+                Tier::Gpu => {
+                    ready = ready.max(meta.ready_at);
+                    self.clock.touch(page);
+                    self.metrics.t1_hits += 1;
+                    self.table.get_mut(page).touches_since_load += 1;
+                }
+                Tier::Host => tier2_fetches.push(page),
+                Tier::Ssd => ssd_fetches.push(page),
+            }
+        }
+
+        let missing = tier2_fetches.len() + ssd_fetches.len();
+        self.metrics.t1_misses += missing as u64;
+
+        // Make room in Tier-1 — one eviction per incoming page beyond the
+        // free slots. The evicting warp performs the transfer, so its
+        // completion gates the warp, but it proceeds in parallel with the
+        // fetch (opposite PCIe direction / staging buffers).
+        let free_slots = self.clock.capacity() - self.clock.len();
+        for _ in 0..missing.saturating_sub(free_slots) {
+            let done = self.evict_one(now);
+            if !self.config.async_eviction {
+                ready = ready.max(done);
+            }
+        }
+
+        // Every miss probes Tier-2 before touching the SSD (§3.4).
+        let lookup = self.to_gpu.lookup_cost();
+        let probe_done = now + lookup;
+
+        if !tier2_fetches.is_empty() {
+            self.metrics.t2_hits += tier2_fetches.len() as u64;
+            let mut start = probe_done;
+            for &page in &tier2_fetches {
+                // An in-flight placement must land before it can be read.
+                start = start.max(self.table.get(page).ready_at);
+                self.tier2.remove(page);
+            }
+            let batch = TransferBatch {
+                pages: tier2_fetches.len(),
+                page_bytes: self.page_bytes(),
+                threads: 32,
+            };
+            let done = self.to_gpu.transfer(start, batch, self.config.transfer);
+            self.latency.tier2_fetch_ns.record(done.since(now).as_nanos());
+            for &page in &tier2_fetches {
+                self.clock.insert(page);
+                self.on_refill(page);
+                let meta = self.table.get_mut(page);
+                meta.tier = Tier::Gpu;
+                meta.ready_at = done;
+                meta.touches_since_load = 1;
+            }
+            ready = ready.max(done);
+        }
+
+        for &page in &ssd_fetches {
+            self.metrics.wasteful_lookups += 1;
+            self.metrics.ssd_reads += 1;
+            let offset = self.ssd_offset(page);
+            let bytes = self.page_bytes();
+            let done = self.ssd.read(probe_done, offset, bytes);
+            self.latency.ssd_fetch_ns.record(done.since(now).as_nanos());
+            self.clock.insert(page);
+            self.on_refill(page);
+            let meta = self.table.get_mut(page);
+            meta.tier = Tier::Gpu;
+            meta.ready_at = done;
+            meta.touches_since_load = 1;
+            ready = ready.max(done);
+        }
+
+        // Sequential prefetch (extension, off by default): pull the pages
+        // following each demand SSD fetch in the background.
+        if self.config.prefetch_degree > 0 {
+            let targets: Vec<PageId> = ssd_fetches
+                .iter()
+                .flat_map(|p| (1..=self.config.prefetch_degree as u64).map(move |d| PageId(p.0 + d)))
+                .collect();
+            for page in targets {
+                self.prefetch(now, page);
+            }
+        }
+
+        if access.write {
+            for page in access.pages.iter() {
+                self.table.get_mut(page).dirty = true;
+            }
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_mem::TierGeometry;
+
+    fn tiny_config(policy: PolicyKind) -> GmtConfig {
+        GmtConfig::new(TierGeometry::from_tier1(8, 2.0, 2.0)).with_policy(policy)
+    }
+
+    fn read(gmt: &mut Gmt, now: Time, page: u64) -> Time {
+        gmt.access(now, &WarpAccess::read(PageId(page)))
+    }
+
+    fn write(gmt: &mut Gmt, now: Time, page: u64) -> Time {
+        gmt.access(now, &WarpAccess::write(PageId(page)))
+    }
+
+    #[test]
+    fn cold_miss_goes_to_ssd_then_hits() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Reuse));
+        let t1 = read(&mut gmt, Time::ZERO, 0);
+        assert!(t1 > Time::ZERO, "cold miss must cost SSD latency");
+        let m = gmt.metrics();
+        assert_eq!(m.ssd_reads, 1);
+        assert_eq!(m.t1_misses, 1);
+        let t2 = read(&mut gmt, t1, 0);
+        assert_eq!(t2, t1, "hit in tier-1 is free");
+        assert_eq!(gmt.metrics().t1_hits, 1);
+    }
+
+    #[test]
+    fn tierorder_places_every_victim_in_tier2() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::TierOrder));
+        // Fill tier-1 (8 pages) and stream 8 more: 8 evictions, all to T2.
+        let mut now = Time::ZERO;
+        for p in 0..16 {
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert_eq!(m.t1_evictions, 8);
+        assert_eq!(m.t2_placements, 8);
+        assert_eq!(gmt.tier2_occupancy(), 8);
+    }
+
+    #[test]
+    fn tier2_hit_is_cheaper_than_ssd_read() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::TierOrder));
+        let mut now = Time::ZERO;
+        for p in 0..16 {
+            now = read(&mut gmt, now, p);
+        }
+        // Page 0 was evicted to Tier-2. Re-reading it is a T2 hit.
+        let before = now;
+        let after_t2 = read(&mut gmt, before, 0);
+        assert_eq!(gmt.metrics().t2_hits, 1);
+        // Compare with a fresh SSD fetch at the same instant.
+        let after_ssd = read(&mut gmt, before, 30);
+        let t2_cost = after_t2.since(before);
+        let ssd_cost = after_ssd.since(before);
+        assert!(
+            t2_cost.as_nanos() * 3 < ssd_cost.as_nanos(),
+            "t2 {t2_cost:?} vs ssd {ssd_cost:?}"
+        );
+    }
+
+    #[test]
+    fn exclusive_tiers_no_duplication() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::TierOrder));
+        let mut now = Time::ZERO;
+        for p in 0..16 {
+            now = read(&mut gmt, now, p);
+        }
+        // Promote page 0 back to Tier-1: it must leave Tier-2 (the
+        // concurrent eviction refills the freed slot, so occupancy stays 8).
+        now = read(&mut gmt, now, 0);
+        assert!(!gmt.tier2.contains(PageId(0)), "no duplication across tiers");
+        assert_eq!(gmt.tier2_occupancy(), 8);
+        // And it is now a Tier-1 hit.
+        let hits_before = gmt.metrics().t1_hits;
+        read(&mut gmt, now, 0);
+        assert_eq!(gmt.metrics().t1_hits, hits_before + 1);
+    }
+
+    #[test]
+    fn random_policy_splits_between_tiers() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Random));
+        let mut now = Time::ZERO;
+        for p in 0..24 {
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert_eq!(m.t1_evictions, 16);
+        assert!(m.t2_placements > 0, "some victims must go to tier-2");
+        assert!(m.discards > 0, "some clean victims must be discarded");
+        assert_eq!(m.t2_placements + m.discards + m.ssd_writes, 16);
+    }
+
+    #[test]
+    fn dirty_bypass_writes_to_ssd() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Random));
+        let mut now = Time::ZERO;
+        for p in 0..8 {
+            now = write(&mut gmt, now, p);
+        }
+        for p in 8..24 {
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert!(m.ssd_writes > 0, "dirty victims bypassing tier-2 must be written");
+    }
+
+    #[test]
+    fn wasteful_lookups_counted_on_ssd_fallthrough() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Reuse));
+        let mut now = Time::ZERO;
+        for p in 0..8 {
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert_eq!(m.wasteful_lookups, 8, "all cold misses probe tier-2 in vain");
+    }
+
+    #[test]
+    fn reuse_trains_predictor_on_round_trips() {
+        let geometry = TierGeometry::from_tier1(8, 2.0, 2.0);
+        let mut gmt = Gmt::new(GmtConfig::new(geometry).with_policy(PolicyKind::Reuse));
+        // Cyclic scan over 24 pages: every page round-trips repeatedly.
+        let mut now = Time::ZERO;
+        for _ in 0..6 {
+            for p in 0..24 {
+                now = read(&mut gmt, now, p);
+            }
+        }
+        let m = gmt.metrics();
+        assert!(m.predictions > 0, "round trips must grade predictions");
+        assert!(gmt.markov.total() > 0, "markov chain must have trained");
+    }
+
+    #[test]
+    fn reuse_metrics_are_consistent() {
+        let geometry = TierGeometry::from_tier1(16, 4.0, 2.0);
+        let mut gmt = Gmt::new(GmtConfig::new(geometry).with_policy(PolicyKind::Reuse));
+        let mut now = Time::ZERO;
+        let mut rng = gmt_sim::rng::seeded(3);
+        for _ in 0..2_000 {
+            let p = rng.gen_range(0..geometry.total_pages as u64);
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert_eq!(m.t1_hits + m.t1_misses, 2_000);
+        assert_eq!(m.t2_hits + m.wasteful_lookups, m.t1_misses);
+        assert_eq!(
+            m.t2_placements + m.discards + m.ssd_writes,
+            m.t1_evictions,
+            "every eviction must have exactly one destination"
+        );
+        // Tier-2 never exceeds capacity.
+        assert!(gmt.tier2_occupancy() <= geometry.tier2_pages);
+    }
+
+    #[test]
+    fn bypass_window_tracks_fraction() {
+        let mut w = BypassWindow::new(4);
+        assert_eq!(w.t3_fraction(), None);
+        for _ in 0..3 {
+            w.push(true);
+        }
+        assert_eq!(w.t3_fraction(), None, "window not yet full");
+        w.push(false);
+        assert_eq!(w.t3_fraction(), Some(0.75));
+        w.push(true); // evicts the oldest `true`
+        assert_eq!(w.t3_fraction(), Some(0.75));
+        w.push(false);
+        w.push(false);
+        w.push(false);
+        assert_eq!(w.t3_fraction(), Some(0.25));
+    }
+
+    #[test]
+    fn scattered_access_faults_all_pages() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Reuse));
+        let access = WarpAccess::scattered(vec![PageId(0), PageId(1), PageId(2)], false);
+        gmt.access(Time::ZERO, &access);
+        let m = gmt.metrics();
+        assert_eq!(m.t1_misses, 3);
+        assert_eq!(m.ssd_reads, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured address space")]
+    fn out_of_range_page_panics() {
+        let mut gmt = Gmt::new(tiny_config(PolicyKind::Reuse));
+        let total = gmt.config().geometry.total_pages as u64;
+        read(&mut gmt, Time::ZERO, total);
+    }
+
+    #[test]
+    fn latency_breakdown_reflects_the_tier_gap() {
+        // §3.4: host fetches (~50 us) must be well below SSD fetches
+        // (~130 us) in the measured distributions. Size the working set
+        // to fit Tier-1 + Tier-2 so a cyclic scan produces Tier-2 hits
+        // even under FIFO.
+        let geometry = TierGeometry::from_tier1(8, 2.0, 0.9);
+        let mut gmt = Gmt::new(GmtConfig::new(geometry).with_policy(PolicyKind::TierOrder));
+        let mut now = Time::ZERO;
+        for _ in 0..4 {
+            for p in 0..geometry.total_pages as u64 {
+                now = read(&mut gmt, now, p);
+            }
+        }
+        let lat = gmt.latency_breakdown();
+        assert!(lat.tier2_fetch_ns.count() > 0, "some tier-2 fetches must occur");
+        assert!(lat.ssd_fetch_ns.count() > 0, "some SSD fetches must occur");
+        assert!(
+            lat.tier2_fetch_ns.mean() * 2.0 < lat.ssd_fetch_ns.mean(),
+            "tier-2 mean {} ns vs ssd mean {} ns",
+            lat.tier2_fetch_ns.mean(),
+            lat.ssd_fetch_ns.mean()
+        );
+    }
+
+    #[test]
+    fn forced_t2_heuristic_fires_under_tier3_pressure() {
+        // A cyclic scan over >> T1+T2 pages: every RRD classifies long, so
+        // without the 80% heuristic nothing would enter Tier-2.
+        let geometry = TierGeometry::from_tier1(16, 2.0, 4.0);
+        let mut gmt = Gmt::new(GmtConfig::new(geometry));
+        let mut now = Time::ZERO;
+        for _ in 0..6 {
+            for p in 0..geometry.total_pages as u64 {
+                now = read(&mut gmt, now, p);
+            }
+        }
+        let m = gmt.metrics();
+        assert!(m.forced_t2_placements > 0, "heuristic must fire on a long-RRD scan");
+        assert!(m.t2_hits > 0, "forced placements must convert into hits");
+    }
+
+    #[test]
+    fn prefetch_stops_at_the_address_space_edge() {
+        let geometry = TierGeometry::from_tier1(8, 2.0, 2.0);
+        let mut config = GmtConfig::new(geometry);
+        config.prefetch_degree = 16;
+        let mut gmt = Gmt::new(config);
+        // Touch the last page: prefetch targets beyond the space must be
+        // ignored without panicking.
+        let last = geometry.total_pages as u64 - 1;
+        read(&mut gmt, Time::ZERO, last);
+        assert_eq!(gmt.metrics().prefetches, 0);
+        gmt.check_invariants().expect("invariants hold at the edge");
+    }
+
+    #[test]
+    fn tierorder_churn_writes_dirty_tier2_spills_via_host_io() {
+        let geometry = TierGeometry::from_tier1(4, 2.0, 4.0);
+        let mut gmt = Gmt::new(GmtConfig::new(geometry).with_policy(PolicyKind::TierOrder));
+        let mut now = Time::ZERO;
+        // Dirty everything, then churn far past T1+T2 capacity so Tier-2's
+        // FIFO must spill dirty pages to the SSD.
+        for p in 0..geometry.total_pages as u64 {
+            now = write(&mut gmt, now, p);
+        }
+        for p in 0..geometry.total_pages as u64 {
+            now = read(&mut gmt, now, p);
+        }
+        let m = gmt.metrics();
+        assert!(m.t2_writebacks > 0, "dirty spills must be written back");
+        gmt.check_invariants().expect("invariants hold after churn");
+    }
+
+    #[test]
+    fn prefetch_turns_sequential_misses_into_hits() {
+        let geometry = TierGeometry::from_tier1(16, 4.0, 2.0);
+        let mut plain = Gmt::new(GmtConfig::new(geometry));
+        let mut config = GmtConfig::new(geometry);
+        config.prefetch_degree = 4;
+        let mut prefetching = Gmt::new(config);
+        let mut now_a = Time::ZERO;
+        let mut now_b = Time::ZERO;
+        for p in 0..64 {
+            now_a = read(&mut plain, now_a, p);
+            now_b = read(&mut prefetching, now_b, p);
+        }
+        let a = plain.metrics();
+        let b = prefetching.metrics();
+        assert_eq!(a.prefetches, 0);
+        assert!(b.prefetches > 0, "prefetcher must fire on a sequential scan");
+        assert!(
+            b.t1_hits > a.t1_hits,
+            "prefetched pages must convert misses into hits ({} vs {})",
+            b.t1_hits,
+            a.t1_hits
+        );
+    }
+
+    #[test]
+    fn async_eviction_never_slows_the_warp() {
+        let geometry = TierGeometry::from_tier1(8, 2.0, 2.0);
+        let sync_cfg = GmtConfig::new(geometry).with_policy(PolicyKind::TierOrder);
+        let mut async_cfg = sync_cfg;
+        async_cfg.async_eviction = true;
+        let mut sync_gmt = Gmt::new(sync_cfg);
+        let mut async_gmt = Gmt::new(async_cfg);
+        let mut now_s = Time::ZERO;
+        let mut now_a = Time::ZERO;
+        for p in 0..48 {
+            now_s = write(&mut sync_gmt, now_s, p);
+            now_a = write(&mut async_gmt, now_a, p);
+        }
+        assert!(now_a <= now_s, "background eviction must not add critical-path time");
+    }
+}

@@ -1,0 +1,110 @@
+//! Warp-level address coalescing.
+//!
+//! A warp's 32 lanes issue one memory instruction together; the hardware
+//! coalescer merges lanes that fall on the same page into a single
+//! transaction. Tiering runtimes therefore see *distinct pages per warp
+//! instruction*, not per-lane addresses.
+
+use gmt_mem::{PageId, WarpAccess};
+
+/// The number of lanes in a warp on NVIDIA hardware.
+pub const WARP_LANES: usize = 32;
+
+/// Coalesces per-lane *byte addresses* into one warp access.
+///
+/// Duplicate pages are merged; the order of first occurrence is kept (the
+/// transaction order the coalescer emits).
+///
+/// # Examples
+///
+/// ```
+/// use gmt_gpu::coalesce::coalesce_addresses;
+///
+/// // Four lanes touching two 64 KB pages.
+/// let addrs = [0u64, 8, 65_536, 65_544];
+/// let access = coalesce_addresses(&addrs, 64 * 1024, false);
+/// assert_eq!(access.pages.len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `page_bytes` is zero or `addresses` is empty.
+pub fn coalesce_addresses(addresses: &[u64], page_bytes: u64, write: bool) -> WarpAccess {
+    assert!(page_bytes > 0, "page size must be positive");
+    assert!(!addresses.is_empty(), "a warp access touches at least one address");
+    let mut pages: Vec<PageId> = Vec::with_capacity(4);
+    for &addr in addresses {
+        let page = PageId(addr / page_bytes);
+        if !pages.contains(&page) {
+            pages.push(page);
+        }
+    }
+    WarpAccess::scattered(pages, write)
+}
+
+/// Coalesces per-lane *page ids* directly (for generators that already
+/// think in pages).
+///
+/// # Examples
+///
+/// ```
+/// use gmt_gpu::coalesce::coalesce_pages;
+/// use gmt_mem::PageId;
+///
+/// let access = coalesce_pages([PageId(3), PageId(3), PageId(5)], true);
+/// assert_eq!(access.pages.len(), 2);
+/// assert!(access.write);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the iterator yields no pages.
+pub fn coalesce_pages(lanes: impl IntoIterator<Item = PageId>, write: bool) -> WarpAccess {
+    let mut pages: Vec<PageId> = Vec::with_capacity(4);
+    for page in lanes {
+        if !pages.contains(&page) {
+            pages.push(page);
+        }
+    }
+    assert!(!pages.is_empty(), "a warp access touches at least one page");
+    WarpAccess::scattered(pages, write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_coalesces_to_one_page() {
+        let addrs: Vec<u64> = (0..32).map(|lane| lane * 4).collect();
+        let a = coalesce_addresses(&addrs, 65_536, false);
+        assert_eq!(a.pages.len(), 1);
+        assert_eq!(a.pages.first(), PageId(0));
+    }
+
+    #[test]
+    fn fully_divergent_access_touches_32_pages() {
+        let addrs: Vec<u64> = (0..32).map(|lane| lane * 65_536).collect();
+        let a = coalesce_addresses(&addrs, 65_536, false);
+        assert_eq!(a.pages.len(), 32);
+    }
+
+    #[test]
+    fn page_boundary_straddle() {
+        let a = coalesce_addresses(&[65_535, 65_536], 65_536, false);
+        assert_eq!(a.pages.len(), 2);
+    }
+
+    #[test]
+    fn first_occurrence_order_is_kept() {
+        let a = coalesce_pages([PageId(9), PageId(1), PageId(9), PageId(4)], false);
+        let pages: Vec<_> = a.pages.iter().collect();
+        assert_eq!(pages, vec![PageId(9), PageId(1), PageId(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn empty_lanes_rejected() {
+        let _ = coalesce_addresses(&[], 65_536, false);
+    }
+}

@@ -1,0 +1,30 @@
+//! GPU execution model: warp-level trace replay with latency hiding.
+//!
+//! GMT's decisions are driven entirely by the stream of *coalesced warp
+//! accesses* a kernel issues and by how long each miss stalls the issuing
+//! warp. This crate models exactly that:
+//!
+//! * [`coalesce`] — collapses 32 per-lane addresses into the distinct
+//!   pages of one [`gmt_mem::WarpAccess`], the way the hardware coalescer
+//!   does,
+//! * [`MemoryBackend`] — the interface every tiering runtime (GMT, BaM,
+//!   HMM) implements: given a warp access at a time, return when the warp
+//!   may proceed,
+//! * [`Executor`] — replays a trace across a configurable number of
+//!   resident warp contexts. Thousands of concurrent warps are what makes
+//!   GPU memory tiering *throughput*-sensitive rather than
+//!   latency-sensitive (paper §2): one warp's 130 µs SSD miss is invisible
+//!   if 2047 other warps can issue in the meantime, but a serialized
+//!   intermediary (a DMA engine, a handful of host cores) stalls them all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coalesce;
+mod executor;
+mod partitioned;
+mod sm;
+
+pub use executor::{Executor, ExecutorConfig, MemoryBackend, RunOutcome};
+pub use partitioned::PartitionedExecutor;
+pub use sm::{SmConfig, SmExecutor};

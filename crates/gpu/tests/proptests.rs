@@ -1,0 +1,45 @@
+//! Property tests for the warp executor.
+
+use gmt_gpu::{Executor, ExecutorConfig, MemoryBackend};
+use gmt_mem::{PageId, WarpAccess};
+use gmt_sim::{Dur, Time};
+use proptest::prelude::*;
+
+/// Backend with per-access costs derived from the access's page id.
+struct PageCost;
+
+impl MemoryBackend for PageCost {
+    fn access(&mut self, now: Time, access: &WarpAccess) -> Time {
+        now + Dur::from_nanos(access.pages.first().0 % 5_000)
+    }
+}
+
+proptest! {
+    #[test]
+    fn more_warps_never_slow_a_trace(
+        pages in proptest::collection::vec(0u64..10_000, 1..300),
+        slots in 1usize..64,
+    ) {
+        let trace: Vec<WarpAccess> = pages.iter().map(|&p| WarpAccess::read(PageId(p))).collect();
+        let few = Executor::new(ExecutorConfig { warp_slots: slots, compute_per_access: Dur::ZERO });
+        let many = Executor::new(ExecutorConfig { warp_slots: slots * 2, compute_per_access: Dur::ZERO });
+        let a = few.run(PageCost, trace.iter().cloned());
+        let b = many.run(PageCost, trace.iter().cloned());
+        prop_assert!(b.elapsed <= a.elapsed, "doubling warp slots slowed the run");
+    }
+
+    #[test]
+    fn elapsed_is_bounded_by_serial_and_critical_path(
+        costs in proptest::collection::vec(1u64..5_000, 1..200),
+        slots in 1usize..32,
+    ) {
+        let trace: Vec<WarpAccess> = costs.iter().map(|&c| WarpAccess::read(PageId(c))).collect();
+        let exec = Executor::new(ExecutorConfig { warp_slots: slots, compute_per_access: Dur::ZERO });
+        let out = exec.run(PageCost, trace.iter().cloned());
+        let serial: u64 = costs.iter().map(|c| c % 5_000).sum();
+        let max_single = costs.iter().map(|c| c % 5_000).max().unwrap_or(0);
+        prop_assert!(out.elapsed.as_nanos() <= serial, "cannot exceed fully-serial time");
+        prop_assert!(out.elapsed.as_nanos() >= max_single, "cannot beat the longest access");
+        prop_assert_eq!(out.accesses, costs.len() as u64);
+    }
+}

@@ -1,0 +1,319 @@
+//! Clock (second-chance) replacement, as used in Tier-1.
+//!
+//! The paper (§2, common parameter 3) uses "the traditional clock-based
+//! replacement algorithm, that offers an effective trade-off between
+//! approximating LRU and implementation efficiency" — the same choice BaM
+//! makes. GMT-Reuse additionally needs to *inspect* the clock's candidate
+//! and possibly give it another chance (short-reuse pages stay in Tier-1,
+//! §2.1.3), so [`ClockList`] exposes the candidate explicitly instead of
+//! only offering an atomic evict.
+
+use std::collections::HashMap;
+
+use crate::PageId;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    page: PageId,
+    referenced: bool,
+}
+
+/// A fixed-capacity clock replacement list over resident pages.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_mem::{ClockList, PageId};
+///
+/// let mut clock = ClockList::new(2);
+/// clock.insert(PageId(0));
+/// clock.insert(PageId(1));
+/// assert_eq!(clock.candidate(), Some(PageId(0))); // sweep clears ref bits
+/// clock.touch(PageId(0)); // 0 gets a second chance
+/// let victim = clock.replace_candidate(PageId(2));
+/// assert_eq!(victim, PageId(1));
+/// assert!(clock.contains(PageId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClockList {
+    slots: Vec<Option<Slot>>,
+    index: HashMap<PageId, usize>,
+    free: Vec<usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl ClockList {
+    /// Creates an empty clock with room for `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> ClockList {
+        assert!(capacity > 0, "clock capacity must be positive");
+        ClockList {
+            slots: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+            free: Vec::new(),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether the list is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    /// Sets the reference bit of `page` (call on every Tier-1 hit).
+    ///
+    /// Returns `false` if the page is not resident.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        match self.index.get(&page) {
+            Some(&i) => {
+                self.slots[i].as_mut().expect("indexed slot is occupied").referenced = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts `page` into a free slot with its reference bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full or the page is already resident.
+    pub fn insert(&mut self, page: PageId) {
+        assert!(!self.is_full(), "clock is full; use replace_candidate");
+        assert!(!self.contains(page), "page {page} already resident");
+        let slot = Slot { page, referenced: true };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(page, i);
+    }
+
+    /// Sweeps the hand to the next page with a clear reference bit and
+    /// returns it, clearing reference bits it passes over.
+    ///
+    /// The hand *stays* on the candidate: repeated calls return the same
+    /// page until [`ClockList::skip_candidate`], [`ClockList::replace_candidate`]
+    /// or [`ClockList::evict_candidate`] moves on. Returns `None` when empty.
+    pub fn candidate(&mut self) -> Option<PageId> {
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            match &mut self.slots[self.hand] {
+                None => self.hand += 1,
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    self.hand += 1;
+                }
+                Some(slot) => return Some(slot.page),
+            }
+        }
+    }
+
+    /// Gives the current candidate a second chance (sets its reference bit)
+    /// and advances the hand.
+    ///
+    /// GMT-Reuse calls this when the candidate is classified *short-reuse*
+    /// and should stay in Tier-1 (§2.1.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    pub fn skip_candidate(&mut self) {
+        let page = self.candidate().expect("skip_candidate on empty clock");
+        let i = self.index[&page];
+        self.slots[i].as_mut().expect("indexed slot is occupied").referenced = true;
+        self.hand = i + 1;
+    }
+
+    /// Evicts the current candidate and installs `new` in its slot (with
+    /// the reference bit set), returning the victim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or `new` is already resident.
+    pub fn replace_candidate(&mut self, new: PageId) -> PageId {
+        assert!(!self.contains(new), "page {new} already resident");
+        let victim = self.candidate().expect("replace_candidate on empty clock");
+        let i = self.index.remove(&victim).expect("candidate is indexed");
+        self.slots[i] = Some(Slot { page: new, referenced: true });
+        self.index.insert(new, i);
+        self.hand = i + 1;
+        victim
+    }
+
+    /// Evicts the current candidate without replacement, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    pub fn evict_candidate(&mut self) -> PageId {
+        let victim = self.candidate().expect("evict_candidate on empty clock");
+        let i = self.index.remove(&victim).expect("candidate is indexed");
+        self.slots[i] = None;
+        self.free.push(i);
+        self.hand = i + 1;
+        victim
+    }
+
+    /// Removes `page` regardless of hand position; returns whether it was
+    /// resident.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        match self.index.remove(&page) {
+            Some(i) => {
+                self.slots[i] = None;
+                self.free.push(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over resident pages in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|s| s.page))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_when_nothing_touched() {
+        let mut c = ClockList::new(3);
+        for i in 0..3 {
+            c.insert(PageId(i));
+        }
+        // All ref bits set at insert; first sweep clears them in order and
+        // the second pass evicts in insertion order.
+        assert_eq!(c.replace_candidate(PageId(10)), PageId(0));
+        assert_eq!(c.replace_candidate(PageId(11)), PageId(1));
+        assert_eq!(c.replace_candidate(PageId(12)), PageId(2));
+    }
+
+    #[test]
+    fn touch_grants_second_chance() {
+        let mut c = ClockList::new(3);
+        for i in 0..3 {
+            c.insert(PageId(i));
+        }
+        assert_eq!(c.candidate(), Some(PageId(0)));
+        c.touch(PageId(0));
+        // Candidate was already swept past its ref bit; touching re-arms it.
+        assert_eq!(c.replace_candidate(PageId(9)), PageId(1));
+    }
+
+    #[test]
+    fn skip_candidate_moves_on() {
+        let mut c = ClockList::new(3);
+        for i in 0..3 {
+            c.insert(PageId(i));
+        }
+        assert_eq!(c.candidate(), Some(PageId(0)));
+        c.skip_candidate();
+        assert_eq!(c.candidate(), Some(PageId(1)));
+        c.skip_candidate();
+        assert_eq!(c.candidate(), Some(PageId(2)));
+        c.skip_candidate();
+        // Full revolution: the skipped pages' ref bits get cleared again.
+        assert_eq!(c.candidate(), Some(PageId(0)));
+    }
+
+    #[test]
+    fn candidate_is_stable_until_acted_on() {
+        let mut c = ClockList::new(2);
+        c.insert(PageId(0));
+        c.insert(PageId(1));
+        assert_eq!(c.candidate(), c.candidate());
+    }
+
+    #[test]
+    fn evict_then_insert_reuses_slot() {
+        let mut c = ClockList::new(2);
+        c.insert(PageId(0));
+        c.insert(PageId(1));
+        let v = c.evict_candidate();
+        assert_eq!(v, PageId(0));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_full());
+        c.insert(PageId(2));
+        assert!(c.is_full());
+        assert!(c.contains(PageId(2)));
+    }
+
+    #[test]
+    fn remove_arbitrary_page() {
+        let mut c = ClockList::new(3);
+        for i in 0..3 {
+            c.insert(PageId(i));
+        }
+        assert!(c.remove(PageId(1)));
+        assert!(!c.remove(PageId(1)));
+        assert_eq!(c.len(), 2);
+        let resident: Vec<_> = c.iter().collect();
+        assert!(resident.contains(&PageId(0)) && resident.contains(&PageId(2)));
+        // Clock still functions after a hole appears.
+        assert_eq!(c.replace_candidate(PageId(7)), PageId(0));
+    }
+
+    #[test]
+    fn empty_clock_has_no_candidate() {
+        let mut c = ClockList::new(2);
+        assert_eq!(c.candidate(), None);
+        c.insert(PageId(5));
+        c.remove(PageId(5));
+        assert_eq!(c.candidate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock is full")]
+    fn insert_into_full_clock_panics() {
+        let mut c = ClockList::new(1);
+        c.insert(PageId(0));
+        c.insert(PageId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_insert_panics() {
+        let mut c = ClockList::new(2);
+        c.insert(PageId(0));
+        c.insert(PageId(0));
+    }
+}

@@ -1,0 +1,213 @@
+//! FIFO-managed Tier-2 residency.
+//!
+//! Paper §2.2: Tier-2 pages are evicted "using a simple FIFO mechanism"
+//! when an insertion finds no empty slot — except under GMT-Reuse, whose
+//! rationale (§2.1.3: every Tier-2 page is in the same reuse equivalence
+//! class) instead *rejects* the insertion when the tier is full. Both modes
+//! are provided: [`FifoCache::insert_evicting`] and
+//! [`FifoCache::insert_if_room`].
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::PageId;
+
+/// A fixed-capacity FIFO set of resident pages.
+///
+/// Removal (promotion of a page back to Tier-1) is O(1) amortized via lazy
+/// deletion: stale queue entries are skipped at eviction time.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_mem::{FifoCache, PageId};
+/// let mut t2 = FifoCache::new(2);
+/// assert_eq!(t2.insert_evicting(PageId(0)), None);
+/// assert_eq!(t2.insert_evicting(PageId(1)), None);
+/// assert_eq!(t2.insert_evicting(PageId(2)), Some(PageId(0)));
+/// assert!(t2.contains(PageId(1)) && t2.contains(PageId(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoCache {
+    queue: VecDeque<PageId>,
+    resident: HashSet<PageId>,
+    capacity: usize,
+}
+
+impl FifoCache {
+    /// Creates an empty cache with room for `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FifoCache {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        FifoCache {
+            queue: VecDeque::with_capacity(capacity + 1),
+            resident: HashSet::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of resident pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Whether the cache is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.resident.contains(&page)
+    }
+
+    /// Inserts `page`, evicting the oldest resident page if full.
+    ///
+    /// Returns the evicted page, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident.
+    pub fn insert_evicting(&mut self, page: PageId) -> Option<PageId> {
+        assert!(!self.contains(page), "page {page} already resident in tier-2");
+        let victim = if self.is_full() { Some(self.pop_oldest()) } else { None };
+        self.resident.insert(page);
+        self.queue.push_back(page);
+        victim
+    }
+
+    /// Inserts `page` only if a slot is free; returns whether it was
+    /// inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already resident.
+    pub fn insert_if_room(&mut self, page: PageId) -> bool {
+        assert!(!self.contains(page), "page {page} already resident in tier-2");
+        if self.is_full() {
+            return false;
+        }
+        self.resident.insert(page);
+        self.queue.push_back(page);
+        true
+    }
+
+    /// Removes `page` (promotion to Tier-1); returns whether it was
+    /// resident.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let was_resident = self.resident.remove(&page);
+        if was_resident {
+            self.compact_if_bloated();
+        }
+        was_resident
+    }
+
+    /// Iterates over resident pages in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.resident.iter().copied()
+    }
+
+    fn pop_oldest(&mut self) -> PageId {
+        loop {
+            let head = self.queue.pop_front().expect("full cache has queue entries");
+            if self.resident.remove(&head) {
+                return head;
+            }
+            // Stale entry for a page that was promoted; skip it.
+        }
+    }
+
+    fn compact_if_bloated(&mut self) {
+        // Keep the queue's stale fraction bounded so memory stays O(capacity).
+        if self.queue.len() > 2 * self.capacity + 16 {
+            let resident = &self.resident;
+            self.queue.retain(|p| resident.contains(p));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_fifo() {
+        let mut c = FifoCache::new(3);
+        for i in 0..3 {
+            assert_eq!(c.insert_evicting(PageId(i)), None);
+        }
+        assert_eq!(c.insert_evicting(PageId(3)), Some(PageId(0)));
+        assert_eq!(c.insert_evicting(PageId(4)), Some(PageId(1)));
+    }
+
+    #[test]
+    fn removed_pages_are_skipped_at_eviction() {
+        let mut c = FifoCache::new(3);
+        for i in 0..3 {
+            c.insert_evicting(PageId(i));
+        }
+        assert!(c.remove(PageId(0)));
+        // 0 was promoted; next eviction must pick 1, not the stale 0.
+        c.insert_evicting(PageId(3));
+        assert_eq!(c.insert_evicting(PageId(4)), Some(PageId(1)));
+    }
+
+    #[test]
+    fn insert_if_room_respects_capacity() {
+        let mut c = FifoCache::new(1);
+        assert!(c.insert_if_room(PageId(0)));
+        assert!(!c.insert_if_room(PageId(1)));
+        assert!(c.contains(PageId(0)));
+        assert!(!c.contains(PageId(1)));
+        c.remove(PageId(0));
+        assert!(c.insert_if_room(PageId(1)));
+    }
+
+    #[test]
+    fn len_tracks_residency_not_queue() {
+        let mut c = FifoCache::new(4);
+        for i in 0..4 {
+            c.insert_evicting(PageId(i));
+        }
+        c.remove(PageId(2));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_full());
+    }
+
+    #[test]
+    fn queue_stays_bounded_under_churn() {
+        let mut c = FifoCache::new(8);
+        for round in 0..1_000u64 {
+            let p = PageId(round);
+            if !c.is_full() {
+                c.insert_if_room(p);
+            } else {
+                c.insert_evicting(p);
+            }
+            // Promote a page every round to generate stale entries.
+            let some = c.iter().next().expect("cache non-empty");
+            c.remove(some);
+        }
+        assert!(c.queue.len() <= 2 * c.capacity() + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_insert_panics() {
+        let mut c = FifoCache::new(2);
+        c.insert_evicting(PageId(1));
+        c.insert_evicting(PageId(1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Dense per-page metadata storage.
+
+use crate::PageId;
+
+/// A dense table mapping every page of the address space to metadata `M`.
+///
+/// Page ids are dense (see [`PageId`]), so the table is a flat vector —
+/// the same layout the real GMT uses for its GPU-resident page state, where
+/// hash tables would be prohibitively divergent.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_mem::{PageId, PageTable};
+///
+/// #[derive(Default, Clone)]
+/// struct Meta { dirty: bool }
+///
+/// let mut table: PageTable<Meta> = PageTable::new(16);
+/// table.get_mut(PageId(3)).dirty = true;
+/// assert!(table.get(PageId(3)).dirty);
+/// assert!(!table.get(PageId(4)).dirty);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable<M> {
+    entries: Vec<M>,
+}
+
+impl<M: Default + Clone> PageTable<M> {
+    /// Creates a table for `total_pages` pages, all with default metadata.
+    pub fn new(total_pages: usize) -> PageTable<M> {
+        PageTable { entries: vec![M::default(); total_pages] }
+    }
+}
+
+impl<M> PageTable<M> {
+    /// Number of pages covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table covers zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metadata for `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the address space.
+    pub fn get(&self, page: PageId) -> &M {
+        &self.entries[page.index()]
+    }
+
+    /// Mutable metadata for `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside the address space.
+    pub fn get_mut(&mut self, page: PageId) -> &mut M {
+        &mut self.entries[page.index()]
+    }
+
+    /// Iterates over `(page, metadata)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &M)> {
+        self.entries.iter().enumerate().map(|(i, m)| (PageId(i as u64), m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_then_mutation() {
+        let mut t: PageTable<u32> = PageTable::new(4);
+        assert_eq!(*t.get(PageId(0)), 0);
+        *t.get_mut(PageId(2)) = 7;
+        assert_eq!(*t.get(PageId(2)), 7);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn iter_yields_dense_ids() {
+        let t: PageTable<u8> = PageTable::new(3);
+        let ids: Vec<_> = t.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let t: PageTable<u8> = PageTable::new(2);
+        let _ = t.get(PageId(2));
+    }
+}

@@ -1,0 +1,192 @@
+//! Compact binary serialization of access traces.
+//!
+//! Workload traces can run to millions of accesses; re-generating a graph
+//! and re-running BFS for every experiment is wasteful when the same trace
+//! is replayed across five systems. This module provides a compact binary
+//! encoding (~9 bytes per single-page access) for recording a trace once
+//! and replaying it many times, or for importing traces captured outside
+//! this workspace.
+//!
+//! # Format
+//!
+//! ```text
+//! magic   b"GMTTRACE"     8 bytes
+//! version u16 LE          currently 1
+//! count   u64 LE          number of accesses
+//! per access:
+//!   header u8             bit 7 = write, bits 0..7 = page count (1..=127)
+//!   pages  count x u64 LE
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{PageId, WarpAccess};
+
+const MAGIC: &[u8; 8] = b"GMTTRACE";
+const VERSION: u16 = 1;
+
+/// Error decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeTraceError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the declared access count was read.
+    Truncated,
+    /// An access header declared zero pages.
+    EmptyAccess,
+}
+
+impl std::fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeTraceError::BadMagic => f.write_str("not a GMT trace (bad magic)"),
+            DecodeTraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")
+            }
+            DecodeTraceError::Truncated => f.write_str("trace ends before declared count"),
+            DecodeTraceError::EmptyAccess => f.write_str("access with zero pages"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeTraceError {}
+
+/// Serializes a trace into a freshly allocated buffer.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_mem::{trace, PageId, WarpAccess};
+/// let t = vec![WarpAccess::read(PageId(1)), WarpAccess::write(PageId(2))];
+/// let bytes = trace::encode(&t);
+/// assert_eq!(trace::decode(&bytes)?, t);
+/// # Ok::<(), gmt_mem::trace::DecodeTraceError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if an access touches more than 127 distinct pages (a warp can
+/// touch at most 32).
+pub fn encode(accesses: &[WarpAccess]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(18 + accesses.len() * 9);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u64_le(accesses.len() as u64);
+    for access in accesses {
+        let n = access.pages.len();
+        assert!(n > 0 && n <= 127, "access page count {n} out of range");
+        let header = (n as u8) | if access.write { 0x80 } else { 0 };
+        buf.put_u8(header);
+        for page in access.pages.iter() {
+            buf.put_u64_le(page.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeTraceError`] if the buffer is not a well-formed
+/// version-1 trace.
+pub fn decode(mut buf: &[u8]) -> Result<Vec<WarpAccess>, DecodeTraceError> {
+    if buf.remaining() < 18 {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeTraceError::UnsupportedVersion(version));
+    }
+    let count = buf.get_u64_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        if buf.remaining() < 1 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let header = buf.get_u8();
+        let write = header & 0x80 != 0;
+        let n = (header & 0x7F) as usize;
+        if n == 0 {
+            return Err(DecodeTraceError::EmptyAccess);
+        }
+        if buf.remaining() < n * 8 {
+            return Err(DecodeTraceError::Truncated);
+        }
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            pages.push(PageId(buf.get_u64_le()));
+        }
+        out.push(WarpAccess::scattered(pages, write));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<WarpAccess> {
+        vec![
+            WarpAccess::read(PageId(0)),
+            WarpAccess::write(PageId(u64::MAX)),
+            WarpAccess::scattered(vec![PageId(5), PageId(9), PageId(1)], false),
+            WarpAccess::scattered((0..32).map(PageId).collect(), true),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t: Vec<WarpAccess> = Vec::new();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = encode(&sample()).to_vec();
+        b[0] = b'X';
+        assert_eq!(decode(&b), Err(DecodeTraceError::BadMagic));
+        assert_eq!(decode(&[]), Err(DecodeTraceError::BadMagic));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut b = encode(&sample()).to_vec();
+        b[8] = 9;
+        assert_eq!(decode(&b), Err(DecodeTraceError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = encode(&sample());
+        for cut in [19, b.len() - 1] {
+            assert_eq!(decode(&b[..cut]), Err(DecodeTraceError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn zero_page_access_rejected() {
+        let mut b = encode(&[WarpAccess::read(PageId(1))]).to_vec();
+        b[18] &= 0x80; // clear the page count
+        assert_eq!(decode(&b), Err(DecodeTraceError::EmptyAccess));
+    }
+
+    #[test]
+    fn size_is_compact() {
+        let t = vec![WarpAccess::read(PageId(1)); 1000];
+        assert_eq!(encode(&t).len(), 18 + 1000 * 9);
+    }
+}

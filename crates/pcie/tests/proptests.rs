@@ -1,0 +1,97 @@
+//! Property tests for the transfer models.
+
+use gmt_pcie::{HostLink, HostLinkConfig, TransferBatch, TransferMethod};
+use gmt_sim::Time;
+use proptest::prelude::*;
+
+fn fresh() -> HostLink {
+    HostLink::new(HostLinkConfig::default())
+}
+
+const METHODS: [TransferMethod; 3] = [
+    TransferMethod::DmaAsync,
+    TransferMethod::ZeroCopy,
+    TransferMethod::Hybrid { min_pages: 8, min_threads: 32 },
+];
+
+proptest! {
+    #[test]
+    fn completion_never_precedes_submission(
+        pages in 1usize..64,
+        threads in 1u32..33,
+        now_ns in 0u64..1_000_000,
+        method_idx in 0usize..3,
+    ) {
+        let mut link = fresh();
+        let now = Time::from_nanos(now_ns);
+        let batch = TransferBatch { pages, page_bytes: 64 * 1024, threads };
+        let done = link.transfer(now, batch, METHODS[method_idx]);
+        prop_assert!(done > now, "transfers take time");
+    }
+
+    #[test]
+    fn more_pages_never_complete_earlier(
+        pages in 1usize..63,
+        threads in 1u32..33,
+        method_idx in 0usize..3,
+    ) {
+        // Hybrid switches engines as the batch grows, so monotonicity is
+        // only guaranteed per pure method; check those.
+        let method = METHODS[method_idx];
+        if matches!(method, TransferMethod::Hybrid { .. }) {
+            return Ok(());
+        }
+        let mut a = fresh();
+        let mut b = fresh();
+        let small = TransferBatch { pages, page_bytes: 64 * 1024, threads };
+        let big = TransferBatch { pages: pages + 1, page_bytes: 64 * 1024, threads };
+        let da = a.transfer(Time::ZERO, small, method);
+        let db = b.transfer(Time::ZERO, big, method);
+        prop_assert!(db >= da, "adding a page cannot speed a batch up");
+    }
+
+    #[test]
+    fn more_threads_never_slow_zero_copy(
+        pages in 1usize..64,
+        threads in 1u32..32,
+    ) {
+        let mut a = fresh();
+        let mut b = fresh();
+        let few = TransferBatch { pages, page_bytes: 64 * 1024, threads };
+        let more = TransferBatch { pages, page_bytes: 64 * 1024, threads: threads + 1 };
+        let da = a.transfer(Time::ZERO, few, TransferMethod::ZeroCopy);
+        let db = b.transfer(Time::ZERO, more, TransferMethod::ZeroCopy);
+        prop_assert!(db <= da, "extra threads cannot slow zero-copy down");
+    }
+
+    #[test]
+    fn back_to_back_transfers_are_fifo_ordered(
+        sizes in proptest::collection::vec(1usize..32, 2..20),
+    ) {
+        let mut link = fresh();
+        let mut previous = Time::ZERO;
+        for pages in sizes {
+            let batch = TransferBatch { pages, page_bytes: 64 * 1024, threads: 32 };
+            let done = link.transfer(Time::ZERO, batch, TransferMethod::DmaAsync);
+            prop_assert!(done >= previous, "engine completions must be ordered");
+            previous = done;
+        }
+    }
+
+    #[test]
+    fn stats_account_every_page(
+        batches in proptest::collection::vec((1usize..32, 0usize..3), 1..20),
+    ) {
+        let mut link = fresh();
+        let mut expected_pages = 0u64;
+        for (pages, method_idx) in batches {
+            let batch = TransferBatch { pages, page_bytes: 64 * 1024, threads: 32 };
+            link.transfer(Time::ZERO, batch, METHODS[method_idx]);
+            expected_pages += pages as u64;
+        }
+        let stats = link.stats();
+        prop_assert_eq!(stats.pages, expected_pages);
+        prop_assert_eq!(stats.bytes, expected_pages * 64 * 1024);
+        prop_assert!(stats.dma_batches + stats.zero_copy_batches > 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Exact reuse-distance measurement (the "tree-based method").
+//!
+//! The paper's CPU-side regression thread turns sampled VTDs into true
+//! reuse distances "employing a tree-based method" (§2.1.3, citing Olken's
+//! algorithm). The classic structure is a balanced tree over access
+//! positions holding one mark per *currently most recent* page position;
+//! the number of marks after a page's previous position is exactly the
+//! number of distinct pages touched since — its reuse distance. We use a
+//! Fenwick (binary-indexed) tree, which supports both operations in
+//! `O(log n)`.
+
+use std::collections::HashMap;
+
+use gmt_mem::PageId;
+
+/// A reuse distance: finite, or a cold (first-touch) access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distance {
+    /// The page was accessed before; the payload is the distance.
+    Finite(u64),
+    /// First access to the page.
+    Cold,
+}
+
+impl Distance {
+    /// The finite distance, if any.
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            Distance::Finite(d) => Some(d),
+            Distance::Cold => None,
+        }
+    }
+}
+
+/// Both distance flavours for one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessDistances {
+    /// Unique (Olken/Mattson) reuse distance: distinct pages since the
+    /// previous access to this page.
+    pub rd: Distance,
+    /// Virtual-timestamp distance: total (non-unique) accesses since the
+    /// previous access to this page — the cheap proxy GMT measures on the
+    /// GPU (paper Fig. 3).
+    pub vtd: Distance,
+}
+
+/// Growable Fenwick tree over access positions.
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Extends the tree with a zero entry at position `len+1` (1-based).
+    fn grow(&mut self) {
+        // Appending to a Fenwick tree: new node at index i (1-based)
+        // aggregates the range (i - lowbit(i), i]; all those positions are
+        // existing, so its initial value is the sum of that range minus
+        // the prefix before it.
+        let i = self.tree.len() + 1;
+        let lowbit = i & i.wrapping_neg();
+        let value = if lowbit == 1 {
+            0
+        } else {
+            self.prefix(i - 1) - self.prefix(i - lowbit)
+        };
+        self.tree.push(value);
+    }
+
+    /// Adds `delta` at 1-based position `i`.
+    fn add(&mut self, mut i: usize, delta: i32) {
+        while i <= self.tree.len() {
+            let v = self.tree[i - 1] as i64 + delta as i64;
+            debug_assert!(v >= 0);
+            self.tree[i - 1] = v as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `1..=i`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i - 1];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+}
+
+/// Streaming exact reuse-distance tracker.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_mem::PageId;
+/// use gmt_reuse::{Distance, ReuseTracker};
+///
+/// let mut t = ReuseTracker::new();
+/// assert_eq!(t.record(PageId(0)).rd, Distance::Cold);
+/// t.record(PageId(1));
+/// t.record(PageId(1));
+/// // 0 again: pages {1} touched since -> RD 1, but 2 accesses -> VTD 2.
+/// let d = t.record(PageId(0));
+/// assert_eq!(d.rd, Distance::Finite(1));
+/// assert_eq!(d.vtd, Distance::Finite(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReuseTracker {
+    fenwick: Fenwick,
+    last_pos: HashMap<PageId, usize>,
+    position: usize,
+}
+
+impl ReuseTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> ReuseTracker {
+        ReuseTracker::default()
+    }
+
+    /// Number of accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.position as u64
+    }
+
+    /// Number of distinct pages seen so far.
+    pub fn distinct_pages(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// The current stream position (1-based index of the last access).
+    pub fn position(&self) -> u64 {
+        self.position as u64
+    }
+
+    /// Number of *distinct* pages accessed strictly after stream position
+    /// `pos` (as returned by [`ReuseTracker::position`]).
+    ///
+    /// This is the measurement behind the paper's Remaining Reuse
+    /// Distance: snapshot the position when a page is evicted from
+    /// Tier-1, and query when the page is next accessed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gmt_mem::PageId;
+    /// use gmt_reuse::ReuseTracker;
+    ///
+    /// let mut t = ReuseTracker::new();
+    /// t.record(PageId(0));
+    /// let snapshot = t.position();
+    /// t.record(PageId(1));
+    /// t.record(PageId(1));
+    /// t.record(PageId(2));
+    /// assert_eq!(t.distinct_since(snapshot), 2);
+    /// ```
+    pub fn distinct_since(&self, pos: u64) -> u64 {
+        let now = self.position;
+        let pos = pos as usize;
+        debug_assert!(pos <= now);
+        (self.fenwick.prefix(now) - self.fenwick.prefix(pos.min(now))) as u64
+    }
+
+    /// Records an access to `page`, returning its reuse distances.
+    pub fn record(&mut self, page: PageId) -> AccessDistances {
+        self.position += 1;
+        let pos = self.position; // 1-based
+        self.fenwick.grow();
+        debug_assert_eq!(self.fenwick.len(), pos);
+        let distances = match self.last_pos.get(&page).copied() {
+            Some(prev) => {
+                // Marks strictly after prev (and before pos) = distinct
+                // pages accessed since.
+                let rd = self.fenwick.prefix(pos - 1) - self.fenwick.prefix(prev);
+                self.fenwick.add(prev, -1);
+                AccessDistances {
+                    rd: Distance::Finite(rd as u64),
+                    vtd: Distance::Finite((pos - prev - 1) as u64),
+                }
+            }
+            None => AccessDistances { rd: Distance::Cold, vtd: Distance::Cold },
+        };
+        self.fenwick.add(pos, 1);
+        self.last_pos.insert(page, pos);
+        distances
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force unique reuse distance for cross-checking.
+    fn brute_force(stream: &[u64]) -> Vec<Option<(u64, u64)>> {
+        let mut out = Vec::new();
+        for (i, &p) in stream.iter().enumerate() {
+            let prev = stream[..i].iter().rposition(|&q| q == p);
+            out.push(prev.map(|l| {
+                let mut distinct: Vec<u64> = stream[l + 1..i].to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                (distinct.len() as u64, (i - l - 1) as u64)
+            }));
+        }
+        out
+    }
+
+    fn check(stream: &[u64]) {
+        let expected = brute_force(stream);
+        let mut t = ReuseTracker::new();
+        for (i, &p) in stream.iter().enumerate() {
+            let d = t.record(PageId(p));
+            match expected[i] {
+                None => assert_eq!(d.rd, Distance::Cold, "access {i}"),
+                Some((rd, vtd)) => {
+                    assert_eq!(d.rd, Distance::Finite(rd), "rd at access {i} of {stream:?}");
+                    assert_eq!(d.vtd, Distance::Finite(vtd), "vtd at access {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_sequence() {
+        // a b c b a: RD(a at end) = 2 distinct (b, c); VTD = 3.
+        check(&[0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn immediate_reuse_is_zero() {
+        let mut t = ReuseTracker::new();
+        t.record(PageId(7));
+        let d = t.record(PageId(7));
+        assert_eq!(d.rd, Distance::Finite(0));
+        assert_eq!(d.vtd, Distance::Finite(0));
+    }
+
+    #[test]
+    fn cyclic_scan_distances_equal_working_set_minus_one() {
+        let n = 50u64;
+        let stream: Vec<u64> = (0..n).chain(0..n).collect();
+        let mut t = ReuseTracker::new();
+        for &p in &stream[..n as usize] {
+            assert_eq!(t.record(PageId(p)).rd, Distance::Cold);
+        }
+        for &p in &stream[n as usize..] {
+            assert_eq!(t.record(PageId(p)).rd, Distance::Finite(n - 1));
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_streams() {
+        use rand::Rng;
+        let mut rng = gmt_sim::rng::seeded(11);
+        for _ in 0..20 {
+            let stream: Vec<u64> = (0..200).map(|_| rng.gen_range(0..17)).collect();
+            check(&stream);
+        }
+    }
+
+    #[test]
+    fn counters() {
+        let mut t = ReuseTracker::new();
+        for p in [0u64, 1, 0, 2] {
+            t.record(PageId(p));
+        }
+        assert_eq!(t.accesses(), 4);
+        assert_eq!(t.distinct_pages(), 3);
+    }
+
+    #[test]
+    fn distance_finite_accessor() {
+        assert_eq!(Distance::Finite(4).finite(), Some(4));
+        assert_eq!(Distance::Cold.finite(), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! A general event calendar for discrete-event simulation.
+//!
+//! The resource models in this crate ([`crate::FifoServer`],
+//! [`crate::Link`], …) use closed-form queueing updates and never need a
+//! global event loop. Some simulations do — anything with cancellation,
+//! timeouts, or cross-entity causality. [`EventQueue`] provides the
+//! classic calendar: schedule, cancel, pop-in-time-order, with stable
+//! FIFO ordering among simultaneous events.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A time-ordered event calendar with O(log n) schedule/pop and lazy
+/// cancellation.
+///
+/// Events at equal times pop in scheduling order (deterministic ties).
+///
+/// # Examples
+///
+/// ```
+/// use gmt_sim::events::EventQueue;
+/// use gmt_sim::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_nanos(20), "late");
+/// let early = q.schedule(Time::from_nanos(10), "early");
+/// q.cancel(early);
+/// let (at, event) = q.pop().expect("one event left");
+/// assert_eq!((at.as_nanos(), event), (20, "late"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    pending: std::collections::HashSet<EventId>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> EventQueue<E> {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: std::collections::HashSet::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` at time `at`; returns a cancellation handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the calendar's current time (events may
+    /// not be scheduled in the past).
+    pub fn schedule(&mut self, at: Time, event: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let id = EventId(self.next_seq);
+        self.heap.push(Reverse(Scheduled { at, seq: self.next_seq, id, event }));
+        self.pending.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a scheduled event; returns whether it was still pending
+    /// (cancelling a fired or already-cancelled event is a no-op).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        // Lazy: the heap entry stays and is skipped at pop time.
+        self.pending.remove(&id)
+    }
+
+    /// Pops the next pending event, advancing the calendar's clock.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(Reverse(scheduled)) = self.heap.pop() {
+            if !self.pending.remove(&scheduled.id) {
+                continue; // cancelled
+            }
+            self.now = scheduled.at;
+            return Some((scheduled.at, scheduled.event));
+        }
+        None
+    }
+
+    /// Peeks at the next pending event's time without popping.
+    pub fn next_time(&mut self) -> Option<Time> {
+        while let Some(Reverse(scheduled)) = self.heap.peek() {
+            if !self.pending.contains(&scheduled.id) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(scheduled.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dur;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(30), 'c');
+        q.schedule(Time::from_nanos(10), 'a');
+        q.schedule(Time::from_nanos(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_nanos(5);
+        for i in 0..10 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_is_lazy_but_exact() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(Time::from_nanos(1), "keep");
+        let drop1 = q.schedule(Time::from_nanos(2), "drop");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(drop1));
+        assert!(!q.cancel(drop1), "double-cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        let _ = keep;
+        assert_eq!(q.pop().map(|(_, e)| e), Some("keep"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_fired_event_is_harmless() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(Time::from_nanos(1), 'x');
+        q.schedule(Time::from_nanos(2), 'y');
+        assert_eq!(q.pop().map(|(_, e)| e), Some('x'));
+        assert!(!q.cancel(id), "already fired: cancel reports not-pending");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some('y'));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(100), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_nanos(100), ());
+        q.pop();
+        q.schedule(Time::from_nanos(50), ());
+    }
+
+    #[test]
+    fn next_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let first = q.schedule(Time::from_nanos(1), ());
+        q.schedule(Time::from_nanos(9), ());
+        q.cancel(first);
+        assert_eq!(q.next_time(), Some(Time::from_nanos(9)));
+    }
+
+    #[test]
+    fn works_as_a_simple_process_simulation() {
+        // Two ping-pong processes: validates causal chaining through the
+        // calendar.
+        #[derive(Debug)]
+        enum Ev {
+            Ping(u32),
+            Pong(u32),
+        }
+        let mut q = EventQueue::new();
+        q.schedule(Time::ZERO, Ev::Ping(0));
+        let mut pings = 0;
+        let mut pongs = 0;
+        while let Some((at, ev)) = q.pop() {
+            match ev {
+                Ev::Ping(round) if round < 10 => {
+                    pings += 1;
+                    q.schedule(at + Dur::from_nanos(3), Ev::Pong(round));
+                }
+                Ev::Pong(round) if round < 9 => {
+                    pongs += 1;
+                    q.schedule(at + Dur::from_nanos(7), Ev::Ping(round + 1));
+                }
+                _ => {
+                    pongs += 1;
+                }
+            }
+        }
+        assert_eq!((pings, pongs), (10, 10));
+        assert_eq!(q.now().as_nanos(), 9 * 10 + 3);
+    }
+}

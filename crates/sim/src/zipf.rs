@@ -1,0 +1,187 @@
+//! Zipf-distributed sampling over `{0, …, n-1}`.
+//!
+//! The paper's transfer micro-benchmark (Fig. 6b) draws page addresses from a
+//! Zipf distribution whose skew is swept from 0 (uniform) to 1 (heavily
+//! skewed). `rand` does not ship a Zipf sampler, so we implement
+//! rejection-inversion sampling after Hörmann & Derflinger ("Rejection-
+//! inversion to generate variates from monotone discrete distributions",
+//! 1996) — the same algorithm used by `rand_distr`.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s >= 0`.
+///
+/// Rank `k` (0-based) is drawn with probability proportional to
+/// `1 / (k + 1)^s`. `s = 0` degenerates to the uniform distribution.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_sim::Zipf;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants for rejection-inversion.
+    h_x1: f64,
+    h_integral_x1: f64,
+    h_integral_n: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{0, …, n-1}` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, or if `s` is negative or not finite.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and non-negative");
+        let h_integral_x1 = h_integral(1.5, s) - 1.0;
+        let h_integral_n = h_integral(n as f64 + 0.5, s);
+        let h_x1 = h(1.5, s) - 1.0;
+        Zipf { n, s, h_x1, h_integral_x1, h_integral_n }
+    }
+
+    /// Number of ranks in the support.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Draws a 0-based rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.s == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        loop {
+            let u = self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = h_integral_inverse(u, self.s);
+            let k64 = x.round().clamp(1.0, self.n as f64);
+            let k = k64 as u64;
+            // Accept k if u falls under the histogram bar for k.
+            if u >= h_integral(k64 + 0.5, self.s) - h(k64, self.s)
+                || u >= h_integral(k64 + 0.5, self.s) - self.h_x1 + 1.0 && k == 1
+            {
+                return k - 1;
+            }
+        }
+    }
+}
+
+/// `H(x)`, the integral of `x^-s`.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper2((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// Inverse of `h_integral`.
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    if t < -1.0 {
+        t = -1.0;
+    }
+    (helper1(t) * x).exp()
+}
+
+/// `log(1+x)/x`, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// `(exp(x)-1)/x`, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn freq(n: u64, s: f64, draws: usize) -> Vec<f64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let f = freq(10, 0.0, 100_000);
+        for p in f {
+            assert!((p - 0.1).abs() < 0.01, "uniform probability off: {p}");
+        }
+    }
+
+    #[test]
+    fn skew_one_matches_harmonic_weights() {
+        let n = 8u64;
+        let f = freq(n, 1.0, 400_000);
+        let hn: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        for (k, p) in f.iter().enumerate() {
+            let expected = 1.0 / ((k + 1) as f64) / hn;
+            assert!(
+                (p - expected).abs() < 0.01,
+                "rank {k}: got {p}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_skew_concentrates_mass_on_rank_zero() {
+        let low = freq(100, 0.2, 50_000)[0];
+        let high = freq(100, 0.99, 50_000)[0];
+        assert!(high > low * 3.0, "rank-0 mass: low-skew {low}, high-skew {high}");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(3, 0.7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let zipf = Zipf::new(1, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(zipf.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zero_support_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+}

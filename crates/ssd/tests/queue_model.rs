@@ -1,0 +1,65 @@
+//! Model-based property tests: the NVMe ring-buffer protocol checked
+//! against a plain `VecDeque` reference model under arbitrary
+//! producer/consumer interleavings.
+
+use std::collections::VecDeque;
+
+use gmt_ssd::queue::{Command, CompletionQueue, Opcode, SubmissionQueue};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn submission_queue_matches_reference_model(
+        slots in 2usize..32,
+        ops in proptest::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let mut sq = SubmissionQueue::new(slots);
+        let mut model: VecDeque<u16> = VecDeque::new();
+        let mut next_cid = 0u16;
+        for push in ops {
+            if push {
+                let cmd = Command::io(next_cid, Opcode::Read, 0, 1);
+                match sq.push(cmd) {
+                    Ok(()) => {
+                        sq.ring_doorbell();
+                        model.push_back(next_cid);
+                        next_cid = next_cid.wrapping_add(1);
+                    }
+                    Err(_) => {
+                        prop_assert_eq!(model.len(), slots - 1, "full only at capacity");
+                    }
+                }
+            } else {
+                let popped = sq.pop().map(|c| c.cid);
+                prop_assert_eq!(popped, model.pop_front(), "FIFO order must hold");
+            }
+            prop_assert_eq!(sq.len(), model.len());
+            prop_assert_eq!(sq.is_empty(), model.is_empty());
+        }
+    }
+
+    #[test]
+    fn completion_queue_delivers_in_order_across_wraps(
+        slots in 2usize..16,
+        batches in proptest::collection::vec(1usize..4, 1..64),
+    ) {
+        // Post at most slots-1 entries per batch and reap them all before
+        // the next batch (the qpair discipline), across many wraps.
+        let mut cq = CompletionQueue::new(slots);
+        let mut next = 0u16;
+        for batch in batches {
+            let n = batch.min(slots - 1);
+            for _ in 0..n {
+                cq.post(next, 0, 0);
+                next = next.wrapping_add(1);
+            }
+            let mut expected = next.wrapping_sub(n as u16);
+            for _ in 0..n {
+                let e = cq.poll().expect("posted entry visible");
+                prop_assert_eq!(e.cid, expected);
+                expected = expected.wrapping_add(1);
+            }
+            prop_assert!(cq.poll().is_none(), "no phantom completions");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Backprop: layer-by-layer forward pass and backward propagation
+//! (Rodinia).
+//!
+//! Every training step touches each layer's weight pages twice — once on
+//! the forward pass, once (with an update, so dirty) on the backward pass
+//! — and then the next step starts over. Reuse is near-total (Table 2:
+//! 93.5 %) with forward→backward distances spread across the Tier-2
+//! range, and the dirty backward writes are exactly the traffic a host
+//! memory tier absorbs; Backprop is GMT-Reuse's single biggest speedup
+//! (Fig. 8a) and by far the most I/O-intensive application (Table 2:
+//! 6.8 TB).
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::{Workload, WorkloadScale};
+
+/// The Backprop workload.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::{backprop::Backprop, Workload, WorkloadScale};
+/// let w = Backprop::with_scale(&WorkloadScale::tiny());
+/// assert!(w.trace(0).iter().any(|a| a.write));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backprop {
+    layers: usize,
+    layer_pages: usize,
+    batches: usize,
+}
+
+impl Backprop {
+    /// A 16-layer network filling the scale, trained for 6 batches.
+    pub fn with_scale(scale: &WorkloadScale) -> Backprop {
+        Backprop::new(scale, 16, 6)
+    }
+
+    /// Explicit network depth and batch count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` or `batches` is zero.
+    pub fn new(scale: &WorkloadScale, layers: usize, batches: usize) -> Backprop {
+        assert!(layers > 0 && batches > 0, "layers and batches must be positive");
+        let layers = layers.min(scale.total_pages);
+        Backprop { layers, layer_pages: (scale.total_pages / layers).max(1), batches }
+    }
+
+    fn weight_page(&self, layer: usize, p: usize) -> PageId {
+        PageId((layer * self.layer_pages + p) as u64)
+    }
+}
+
+impl Workload for Backprop {
+    fn name(&self) -> &'static str {
+        "Backprop"
+    }
+
+    fn total_pages(&self) -> usize {
+        self.layers * self.layer_pages
+    }
+
+    fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
+        let mut out =
+            Vec::with_capacity(2 * self.batches * self.layers * self.layer_pages);
+        for _ in 0..self.batches {
+            // Forward: read weights layer by layer.
+            for layer in 0..self.layers {
+                for p in 0..self.layer_pages {
+                    out.push(WarpAccess::read(self.weight_page(layer, p)));
+                }
+            }
+            // Backward: revisit layers in reverse, updating weights.
+            for layer in (0..self.layers).rev() {
+                for p in 0..self.layer_pages {
+                    out.push(WarpAccess::write(self.weight_page(layer, p)));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_weight_page_is_touched_twice_per_batch() {
+        let w = Backprop::with_scale(&WorkloadScale::pages(320));
+        let trace = w.trace(0);
+        let mut counts = vec![0u32; w.total_pages()];
+        for a in &trace {
+            for p in a.pages.iter() {
+                counts[p.index()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2 * w.batches as u32));
+    }
+
+    #[test]
+    fn late_layers_have_short_fwd_bwd_distance() {
+        let w = Backprop::with_scale(&WorkloadScale::pages(320));
+        let trace = w.trace(0);
+        let first_batch = &trace[..2 * w.total_pages()];
+        let gap_of = |page: PageId| {
+            let pos: Vec<usize> = first_batch
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.pages.first() == page)
+                .map(|(i, _)| i)
+                .collect();
+            pos[1] - pos[0]
+        };
+        let last_layer_gap = gap_of(w.weight_page(w.layers - 1, 0));
+        let first_layer_gap = gap_of(w.weight_page(0, 0));
+        assert!(
+            first_layer_gap > 4 * last_layer_gap,
+            "layer-0 gap {first_layer_gap} vs last-layer gap {last_layer_gap}"
+        );
+    }
+
+    #[test]
+    fn backward_pass_dirties_everything() {
+        let w = Backprop::with_scale(&WorkloadScale::tiny());
+        let trace = w.trace(0);
+        let writes = trace.iter().filter(|a| a.write).count();
+        assert_eq!(writes * 2, trace.len());
+    }
+}

@@ -1,0 +1,115 @@
+//! Hotspot: thermal simulation iterating over a grid (Rodinia).
+//!
+//! Every iteration streams the whole temperature-in, power, and
+//! temperature-out arrays, so pages are reused heavily (Table 2: 81 %)
+//! but always at *full-sweep* distance — beyond Tier-1 + Tier-2, i.e.
+//! ≈100 % Tier-3-biased RRDs (Fig. 7). The paper uses Hotspot to show why
+//! the 80 % heuristic matters: a literal predictor would leave Tier-2
+//! empty, yet forcing a slice of each sweep into host memory cuts SSD
+//! reads by ~73 % (§3.3).
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::{Workload, WorkloadScale};
+
+/// The Hotspot workload.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::{hotspot::Hotspot, Workload, WorkloadScale};
+/// let w = Hotspot::with_scale(&WorkloadScale::tiny());
+/// assert!(w.trace(0).len() > 5 * w.total_pages());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hotspot {
+    grid_pages: usize,
+    iterations: usize,
+}
+
+impl Hotspot {
+    /// Three equal arrays (temp ping, temp pong, power) filling the
+    /// scale; 8 iterations.
+    pub fn with_scale(scale: &WorkloadScale) -> Hotspot {
+        Hotspot::new(scale, 8)
+    }
+
+    /// Explicit iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn new(scale: &WorkloadScale, iterations: usize) -> Hotspot {
+        assert!(iterations > 0, "hotspot needs at least one iteration");
+        Hotspot { grid_pages: (scale.total_pages / 3).max(1), iterations }
+    }
+
+    fn temp_page(&self, parity: usize, i: usize) -> PageId {
+        PageId((parity * self.grid_pages + i) as u64)
+    }
+
+    fn power_page(&self, i: usize) -> PageId {
+        PageId((2 * self.grid_pages + i) as u64)
+    }
+}
+
+impl Workload for Hotspot {
+    fn name(&self) -> &'static str {
+        "Hotspot"
+    }
+
+    fn total_pages(&self) -> usize {
+        3 * self.grid_pages
+    }
+
+    fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
+        let mut out = Vec::with_capacity(3 * self.iterations * self.grid_pages);
+        for iter in 0..self.iterations {
+            let (src, dst) = (iter % 2, (iter + 1) % 2);
+            for i in 0..self.grid_pages {
+                out.push(WarpAccess::read(self.temp_page(src, i)));
+                out.push(WarpAccess::read(self.power_page(i)));
+                out.push(WarpAccess::write(self.temp_page(dst, i)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_is_reread_every_iteration() {
+        let w = Hotspot::with_scale(&WorkloadScale::pages(300));
+        let trace = w.trace(0);
+        let target = w.power_page(0);
+        let touches = trace.iter().filter(|a| a.pages.first() == target).count();
+        assert_eq!(touches, w.iterations);
+    }
+
+    #[test]
+    fn reuse_distance_spans_the_whole_sweep() {
+        let w = Hotspot::with_scale(&WorkloadScale::pages(300));
+        let trace = w.trace(0);
+        let target = w.power_page(0);
+        let pos: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.pages.first() == target)
+            .map(|(i, _)| i)
+            .collect();
+        // Gap of 3 accesses per grid page = one full sweep.
+        assert_eq!(pos[1] - pos[0], 3 * w.grid_pages);
+    }
+
+    #[test]
+    fn temp_arrays_ping_pong() {
+        let w = Hotspot::with_scale(&WorkloadScale::pages(300));
+        let trace = w.trace(0);
+        // Iteration 0 writes parity 1; iteration 1 reads parity 1.
+        let first_write = trace.iter().find(|a| a.write).expect("has writes");
+        assert_eq!(first_write.pages.first(), w.temp_page(1, 0));
+    }
+}

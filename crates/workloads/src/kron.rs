@@ -1,0 +1,316 @@
+//! GAP-Kron synthetic graph generation (RMAT) and its page layout.
+//!
+//! The paper's three graph applications (BFS, SSSP, PageRank) run on the
+//! GAP benchmark suite's Kronecker graph. We generate the same family of
+//! graphs with the GAP parameters (A = 0.57, B = 0.19, C = 0.19,
+//! edge factor 16) and lay the CSR arrays out over 64 KB pages so vertex
+//! and edge accesses map to page accesses the way the BaM-modified
+//! applications see them.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// RMAT generation parameters (defaults are GAP-Kron's).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KronConfig {
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Directed edges per vertex.
+    pub edge_factor: u32,
+    /// RMAT quadrant probabilities (the fourth is the remainder).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Apply GAP's random vertex relabeling, which destroys the artificial
+    /// id-locality of raw RMAT (hubs clustered at low ids). Off by
+    /// default: the clustered layout is itself a realistic CSR-on-disk
+    /// layout (hot vertices packed together by a preprocessing step).
+    pub permute: bool,
+}
+
+impl KronConfig {
+    /// GAP-Kron parameters at the given scale.
+    pub fn gap(scale: u32) -> KronConfig {
+        KronConfig { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, permute: false }
+    }
+
+    /// GAP parameters with the random vertex permutation applied.
+    pub fn gap_permuted(scale: u32) -> KronConfig {
+        KronConfig { permute: true, ..KronConfig::gap(scale) }
+    }
+}
+
+/// A directed graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KronGraph {
+    /// Number of vertices (a power of two).
+    pub vertices: u32,
+    /// CSR row offsets, length `vertices + 1`.
+    pub offsets: Vec<u32>,
+    /// CSR column indices (edge targets), length = edge count.
+    pub targets: Vec<u32>,
+}
+
+impl KronGraph {
+    /// Generates an RMAT graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.scale` exceeds 28 (the `u32` CSR would overflow)
+    /// or the probabilities are not a sub-distribution.
+    pub fn generate(config: KronConfig, seed: u64) -> KronGraph {
+        assert!(config.scale <= 28, "scale too large for u32 CSR");
+        let (a, b, c) = (config.a, config.b, config.c);
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid RMAT quadrants");
+        let vertices = 1u32 << config.scale;
+        let edges = vertices as usize * config.edge_factor as usize;
+        let mut rng = gmt_sim::rng::seeded(seed);
+        // Optional GAP-style relabeling (a seeded Fisher-Yates shuffle).
+        let relabel: Option<Vec<u32>> = config.permute.then(|| {
+            let mut map: Vec<u32> = (0..vertices).collect();
+            for i in (1..map.len()).rev() {
+                map.swap(i, rng.gen_range(0..=i));
+            }
+            map
+        });
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges);
+        for _ in 0..edges {
+            let (mut src, mut dst) = (0u32, 0u32);
+            for _ in 0..config.scale {
+                src <<= 1;
+                dst <<= 1;
+                let r: f64 = rng.gen();
+                if r < a {
+                    // top-left: neither bit set
+                } else if r < a + b {
+                    dst |= 1;
+                } else if r < a + b + c {
+                    src |= 1;
+                } else {
+                    src |= 1;
+                    dst |= 1;
+                }
+            }
+            match &relabel {
+                Some(map) => pairs.push((map[src as usize], map[dst as usize])),
+                None => pairs.push((src, dst)),
+            }
+        }
+        // Counting-sort into CSR.
+        let mut degree = vec![0u32; vertices as usize + 1];
+        for &(src, _) in &pairs {
+            degree[src as usize + 1] += 1;
+        }
+        let mut offsets = degree;
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges];
+        for &(src, dst) in &pairs {
+            let slot = cursor[src as usize] as usize;
+            targets[slot] = dst;
+            cursor[src as usize] += 1;
+        }
+        KronGraph { vertices, offsets, targets }
+    }
+
+    /// Number of directed edges.
+    pub fn edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+}
+
+/// The CSR arrays laid out contiguously over 64 KB pages, the way the
+/// BaM-modified graph applications place them on the SSD:
+/// `[offsets | per-vertex values | edge targets]`, 8 bytes per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrLayout {
+    vertices: u64,
+    edges: u64,
+    entries_per_page: u64,
+}
+
+impl CsrLayout {
+    /// Lays out a graph with the given counts on `page_bytes` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bytes < 8`.
+    pub fn new(vertices: u64, edges: u64, page_bytes: u64) -> CsrLayout {
+        assert!(page_bytes >= 8, "pages must hold at least one entry");
+        CsrLayout { vertices, edges, entries_per_page: page_bytes / 8 }
+    }
+
+    /// Lays out `graph` on 64 KB pages.
+    pub fn for_graph(graph: &KronGraph) -> CsrLayout {
+        CsrLayout::new(graph.vertices as u64, graph.edges() as u64, 64 * 1024)
+    }
+
+    fn offsets_pages(&self) -> u64 {
+        self.vertices.div_ceil(self.entries_per_page).max(1)
+    }
+
+    fn values_pages(&self) -> u64 {
+        self.offsets_pages()
+    }
+
+    fn targets_pages(&self) -> u64 {
+        self.edges.div_ceil(self.entries_per_page).max(1)
+    }
+
+    /// Total pages the three arrays span.
+    pub fn total_pages(&self) -> usize {
+        (self.offsets_pages() + self.values_pages() + self.targets_pages()) as usize
+    }
+
+    /// Page holding vertex `v`'s CSR offset.
+    pub fn offset_page(&self, v: u32) -> u64 {
+        v as u64 / self.entries_per_page
+    }
+
+    /// Page holding vertex `v`'s per-vertex value (distance, rank, …).
+    pub fn value_page(&self, v: u32) -> u64 {
+        self.offsets_pages() + v as u64 / self.entries_per_page
+    }
+
+    /// Page holding the `i`-th edge target.
+    pub fn edge_page(&self, i: u64) -> u64 {
+        self.offsets_pages() + self.values_pages() + i / self.entries_per_page
+    }
+
+    /// CSR entries per page (8192 for 8-byte entries on 64 KB pages).
+    pub fn entries_per_page(&self) -> u64 {
+        self.entries_per_page
+    }
+}
+
+/// Picks the RMAT scale whose CSR footprint best approaches
+/// `total_pages` 64 KB pages (clamped to keep generation tractable:
+/// 2^12 – 2^20 vertices).
+///
+/// # Examples
+///
+/// ```
+/// let bits = gmt_workloads::kron::scale_bits_for_pages(128);
+/// assert!((12..=20).contains(&bits));
+/// ```
+pub fn scale_bits_for_pages(total_pages: usize) -> u32 {
+    // One vertex costs 16 bytes of vertex arrays + 16 × 8 bytes of edges.
+    let target_vertices = (total_pages as u64 * 64 * 1024 / 144).max(1);
+    let bits = 63 - target_vertices.leading_zeros() as u64;
+    (bits as u32).clamp(12, 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_bits_are_clamped_and_monotone() {
+        assert_eq!(scale_bits_for_pages(1), 12);
+        assert_eq!(scale_bits_for_pages(10_000_000), 20);
+        assert!(scale_bits_for_pages(128) <= scale_bits_for_pages(1024));
+    }
+
+    fn small() -> KronGraph {
+        KronGraph::generate(KronConfig::gap(10), 1)
+    }
+
+    #[test]
+    fn edge_count_matches_config() {
+        let g = small();
+        assert_eq!(g.vertices, 1024);
+        assert_eq!(g.edges(), 1024 * 16);
+        assert_eq!(*g.offsets.last().unwrap() as usize, g.edges());
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let g = small();
+        let mut total = 0u64;
+        for v in 0..g.vertices {
+            assert_eq!(g.neighbors(v).len() as u32, g.degree(v));
+            total += g.degree(v) as u64;
+        }
+        assert_eq!(total as usize, g.edges());
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // RMAT without permutation concentrates degree on low vertex ids.
+        let g = small();
+        let low: u64 = (0..64).map(|v| g.degree(v) as u64).sum();
+        let high: u64 = (g.vertices - 64..g.vertices).map(|v| g.degree(v) as u64).sum();
+        assert!(low > high * 4, "low-id degree {low} vs high-id {high}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(small(), small());
+        assert_ne!(
+            KronGraph::generate(KronConfig::gap(10), 1).targets,
+            KronGraph::generate(KronConfig::gap(10), 2).targets
+        );
+    }
+
+    #[test]
+    fn permutation_spreads_hub_degree() {
+        let raw = KronGraph::generate(KronConfig::gap(12), 3);
+        let permuted = KronGraph::generate(KronConfig::gap_permuted(12), 3);
+        assert_eq!(raw.edges(), permuted.edges());
+        let low_mass = |g: &KronGraph| -> u64 { (0..64).map(|v| g.degree(v) as u64).sum() };
+        assert!(
+            low_mass(&permuted) < low_mass(&raw) / 2,
+            "permutation must break low-id hub clustering: {} vs {}",
+            low_mass(&permuted),
+            low_mass(&raw)
+        );
+        // Degree skew itself survives relabeling.
+        let max_deg = (0..permuted.vertices).map(|v| permuted.degree(v)).max().unwrap();
+        assert!(max_deg > 16 * 4, "hubs must survive relabeling, max degree {max_deg}");
+    }
+
+    #[test]
+    fn layout_partitions_do_not_overlap() {
+        let layout = CsrLayout::new(10_000, 160_000, 64 * 1024);
+        let last_offset = layout.offset_page(9_999);
+        let first_value = layout.value_page(0);
+        let last_value = layout.value_page(9_999);
+        let first_edge = layout.edge_page(0);
+        assert!(last_offset < first_value);
+        assert!(last_value < first_edge);
+        let last_edge = layout.edge_page(159_999);
+        assert_eq!(layout.total_pages() as u64, last_edge + 1);
+    }
+
+    #[test]
+    fn layout_for_graph_covers_everything() {
+        let g = small();
+        let layout = CsrLayout::for_graph(&g);
+        let total = layout.total_pages() as u64;
+        assert!(layout.offset_page(g.vertices - 1) < total);
+        assert!(layout.value_page(g.vertices - 1) < total);
+        assert!(layout.edge_page(g.edges() as u64 - 1) < total);
+    }
+}

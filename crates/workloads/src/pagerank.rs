@@ -1,0 +1,136 @@
+//! PageRank over a GAP-Kron graph (from the BaM evaluation).
+//!
+//! Power iterations: every iteration sweeps all vertices, reading CSR
+//! offsets and edge targets plus the *old* rank of every neighbor
+//! (scattered, data-dependent) and writing the vertex's new rank. Pages
+//! are reused heavily (Table 2: 90.42 %) but mostly at full-sweep
+//! distances — the Tier-3-biased profile of Fig. 7 — with the alternating
+//! eviction-time RRD pattern of Fig. 4c (pages alternate between
+//! intra-iteration hub reuse and cross-iteration sweep reuse).
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::kron::{scale_bits_for_pages, CsrLayout, KronConfig, KronGraph};
+use crate::util::push_scattered;
+use crate::{Workload, WorkloadScale};
+
+/// The PageRank workload.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::{pagerank::PageRank, Workload, WorkloadScale};
+/// let w = PageRank::with_scale(&WorkloadScale::tiny());
+/// assert_eq!(w.name(), "PageRank");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageRank {
+    graph: KronGraph,
+    layout: CsrLayout,
+    iterations: usize,
+}
+
+impl PageRank {
+    /// Generates a GAP-Kron graph sized near the scale; 3 iterations.
+    pub fn with_scale(scale: &WorkloadScale) -> PageRank {
+        PageRank::on_graph(
+            KronGraph::generate(KronConfig::gap(scale_bits_for_pages(scale.total_pages)), 0x9A6E),
+            3,
+        )
+    }
+
+    /// Runs over an explicit graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` is zero.
+    pub fn on_graph(graph: KronGraph, iterations: usize) -> PageRank {
+        assert!(iterations > 0, "pagerank needs at least one iteration");
+        let layout = CsrLayout::for_graph(&graph);
+        PageRank { graph, layout, iterations }
+    }
+}
+
+impl Workload for PageRank {
+    fn name(&self) -> &'static str {
+        "PageRank"
+    }
+
+    fn total_pages(&self) -> usize {
+        self.layout.total_pages()
+    }
+
+    fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
+        let g = &self.graph;
+        let layout = &self.layout;
+        let epp = layout.entries_per_page();
+        let mut out = Vec::new();
+        for _ in 0..self.iterations {
+            let vertices: Vec<u32> = (0..g.vertices).collect();
+            for chunk in vertices.chunks(32) {
+                let offset_pages: Vec<PageId> =
+                    chunk.iter().map(|&v| PageId(layout.offset_page(v))).collect();
+                push_scattered(&mut out, offset_pages, false);
+                let mut edge_pages = Vec::new();
+                let mut rank_reads = Vec::new();
+                for &v in chunk {
+                    let (start, end) =
+                        (g.offsets[v as usize] as u64, g.offsets[v as usize + 1] as u64);
+                    let mut i = start;
+                    while i < end {
+                        edge_pages.push(PageId(layout.edge_page(i)));
+                        i = (i / epp + 1) * epp;
+                    }
+                    for &u in g.neighbors(v) {
+                        rank_reads.push(PageId(layout.value_page(u)));
+                    }
+                }
+                push_scattered(&mut out, edge_pages, false);
+                push_scattered(&mut out, rank_reads, false);
+                let own_ranks: Vec<PageId> =
+                    chunk.iter().map(|&v| PageId(layout.value_page(v))).collect();
+                push_scattered(&mut out, own_ranks, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> PageRank {
+        PageRank::on_graph(KronGraph::generate(KronConfig::gap(12), 5), 2)
+    }
+
+    #[test]
+    fn every_vertex_rank_is_written_each_iteration() {
+        let w = small();
+        let trace = w.trace(0);
+        let writes: usize = trace.iter().filter(|a| a.write).map(|a| a.pages.len()).sum();
+        // 32-vertex chunks usually share one value page, so counts are in
+        // pages; each chunk writes at least one page per iteration.
+        let chunks = w.graph.vertices.div_ceil(32) as usize;
+        assert!(writes >= chunks * w.iterations);
+    }
+
+    #[test]
+    fn hub_rank_pages_dominate_reads() {
+        let w = small();
+        let trace = w.trace(0);
+        let hub_page = PageId(w.layout.value_page(0));
+        let hub_reads = trace
+            .iter()
+            .filter(|a| !a.write && a.pages.iter().any(|p| p == hub_page))
+            .count();
+        assert!(hub_reads > w.iterations * 10, "hub page read only {hub_reads} times");
+    }
+
+    #[test]
+    fn iterations_multiply_trace_length() {
+        let one = PageRank::on_graph(KronGraph::generate(KronConfig::gap(12), 5), 1);
+        let two = small();
+        assert_eq!(one.trace(0).len() * 2, two.trace(0).len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Pathfinder: dynamic programming over a grid, row-by-row (Rodinia).
+//!
+//! A large cost "wall" is streamed one row at a time while two small
+//! result rows ping-pong; almost all reuse lands on the tiny result rows,
+//! so the RRD distribution sits ≈100 % inside Tier-1 (paper Fig. 7) and
+//! the page-reuse percentage stays low (Table 2: 19.47 %).
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::{Workload, WorkloadScale};
+
+/// The Pathfinder workload.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::{pathfinder::Pathfinder, Workload, WorkloadScale};
+/// let w = Pathfinder::with_scale(&WorkloadScale::tiny());
+/// assert!(w.trace(0).len() > w.total_pages());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pathfinder {
+    /// Pages per grid row.
+    cols: usize,
+    /// Grid rows.
+    rows: usize,
+}
+
+impl Pathfinder {
+    /// Sizes the wall to fill the scale with ~64 rows.
+    pub fn with_scale(scale: &WorkloadScale) -> Pathfinder {
+        let cols = (scale.total_pages / 66).max(1);
+        let rows = (scale.total_pages - 2 * cols) / cols;
+        Pathfinder { cols, rows }
+    }
+
+    fn wall_page(&self, r: usize, c: usize) -> PageId {
+        PageId((r * self.cols + c) as u64)
+    }
+
+    fn result_page(&self, parity: usize, c: usize) -> PageId {
+        PageId((self.rows * self.cols + parity * self.cols + c) as u64)
+    }
+}
+
+impl Workload for Pathfinder {
+    fn name(&self) -> &'static str {
+        "Pathfinder"
+    }
+
+    fn total_pages(&self) -> usize {
+        (self.rows + 2) * self.cols
+    }
+
+    fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
+        let mut out = Vec::with_capacity(3 * self.rows * self.cols);
+        for r in 0..self.rows {
+            let (prev, cur) = (r % 2, (r + 1) % 2);
+            for c in 0..self.cols {
+                out.push(WarpAccess::read(self.wall_page(r, c)));
+                out.push(WarpAccess::read(self.result_page(prev, c)));
+                out.push(WarpAccess::write(self.result_page(cur, c)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Pathfinder {
+        Pathfinder::with_scale(&WorkloadScale::pages(660))
+    }
+
+    #[test]
+    fn wall_pages_are_streamed_once() {
+        let w = small();
+        let trace = w.trace(0);
+        let wall0 = w.wall_page(0, 0);
+        assert_eq!(
+            trace.iter().filter(|a| a.pages.iter().any(|p| p == wall0)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn result_rows_are_hot() {
+        let w = small();
+        let trace = w.trace(0);
+        let res = w.result_page(0, 0);
+        let touches = trace.iter().filter(|a| a.pages.iter().any(|p| p == res)).count();
+        assert!(touches >= w.rows / 2, "result page touched only {touches} times");
+    }
+
+    #[test]
+    fn reused_pages_are_a_small_fraction() {
+        let w = small();
+        let reused = 2 * w.cols; // only the result rows
+        let fraction = reused as f64 / w.total_pages() as f64;
+        assert!(fraction < 0.25, "reuse fraction {fraction}");
+    }
+
+    #[test]
+    fn wall_dominates_address_space() {
+        let w = small();
+        assert!(w.rows * w.cols > w.total_pages() * 9 / 10);
+    }
+}

@@ -1,0 +1,124 @@
+//! Srad: speckle-reducing anisotropic diffusion over an image grid
+//! (Rodinia).
+//!
+//! Each iteration runs two kernels (srad1 computes diffusion
+//! coefficients, srad2 applies them), so every image block is swept twice
+//! per iteration. The within-iteration re-sweep gives the high page reuse
+//! (Table 2: 83 %) at block-sized distances — squarely in the Tier-2
+//! range (Fig. 7) — which is why Srad is one of GMT-Reuse's biggest wins.
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::{Workload, WorkloadScale};
+
+/// The Srad workload.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::{srad::Srad, Workload, WorkloadScale};
+/// let w = Srad::with_scale(&WorkloadScale::tiny());
+/// assert!(w.trace(0).len() >= 4 * w.total_pages());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Srad {
+    image_pages: usize,
+    /// Pages processed per tile before moving on (srad1 + srad2 both run
+    /// per tile).
+    block_pages: usize,
+    iterations: usize,
+}
+
+impl Srad {
+    /// Sizes the image to the scale, tiled at 35% of the image, 4 iterations.
+    pub fn with_scale(scale: &WorkloadScale) -> Srad {
+        Srad::new(scale, 35, 4)
+    }
+
+    /// Explicit tile size (percent of the image) and iteration count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_pct` is 0 or greater than 100, or if `iterations`
+    /// is zero.
+    pub fn new(scale: &WorkloadScale, block_pct: usize, iterations: usize) -> Srad {
+        assert!((1..=100).contains(&block_pct), "block percentage must be in 1..=100");
+        assert!(iterations > 0, "srad needs at least one iteration");
+        Srad {
+            image_pages: scale.total_pages,
+            block_pages: (scale.total_pages * block_pct / 100).max(1),
+            iterations,
+        }
+    }
+}
+
+impl Workload for Srad {
+    fn name(&self) -> &'static str {
+        "Srad"
+    }
+
+    fn total_pages(&self) -> usize {
+        self.image_pages
+    }
+
+    fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
+        let mut out = Vec::with_capacity(2 * self.iterations * self.image_pages);
+        for _ in 0..self.iterations {
+            let mut start = 0;
+            while start < self.image_pages {
+                let end = (start + self.block_pages).min(self.image_pages);
+                // srad1: read the block (compute coefficients).
+                for p in start..end {
+                    out.push(WarpAccess::read(PageId(p as u64)));
+                }
+                // srad2: read-modify-write the same block.
+                for p in start..end {
+                    out.push(WarpAccess::write(PageId(p as u64)));
+                }
+                start = end;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_page_is_reused() {
+        let w = Srad::with_scale(&WorkloadScale::pages(400));
+        let trace = w.trace(0);
+        let mut counts = vec![0u32; w.total_pages()];
+        for a in &trace {
+            for p in a.pages.iter() {
+                counts[p.index()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 2 * w.iterations as u32));
+    }
+
+    #[test]
+    fn rereads_happen_at_block_distance() {
+        let w = Srad::with_scale(&WorkloadScale::pages(400));
+        let trace = w.trace(0);
+        // Page 0's first two touches are one block apart.
+        let positions: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.pages.first() == PageId(0))
+            .map(|(i, _)| i)
+            .collect();
+        let gap = positions[1] - positions[0];
+        assert_eq!(gap, w.block_pages);
+    }
+
+    #[test]
+    fn half_the_accesses_are_writes() {
+        let w = Srad::with_scale(&WorkloadScale::tiny());
+        let trace = w.trace(0);
+        let writes = trace.iter().filter(|a| a.write).count();
+        assert_eq!(writes * 2, trace.len());
+    }
+}

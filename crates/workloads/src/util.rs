@@ -1,0 +1,39 @@
+//! Shared trace-building helpers.
+
+use gmt_mem::{PageId, WarpAccess};
+
+/// Deduplicates `pages` (preserving first-occurrence order) and emits them
+/// as scattered warp accesses of at most 32 distinct pages each — the
+/// shape a divergent warp instruction produces after coalescing.
+pub(crate) fn push_scattered(out: &mut Vec<WarpAccess>, mut pages: Vec<PageId>, write: bool) {
+    if pages.is_empty() {
+        return;
+    }
+    let mut seen = std::collections::HashSet::with_capacity(pages.len());
+    pages.retain(|p| seen.insert(*p));
+    for chunk in pages.chunks(32) {
+        out.push(WarpAccess::scattered(chunk.to_vec(), write));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_chunking() {
+        let mut out = Vec::new();
+        let pages: Vec<PageId> = (0..70).map(|i| PageId(i % 35)).collect();
+        push_scattered(&mut out, pages, false);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].pages.len(), 32);
+        assert_eq!(out[1].pages.len(), 3);
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let mut out = Vec::new();
+        push_scattered(&mut out, Vec::new(), true);
+        assert!(out.is_empty());
+    }
+}

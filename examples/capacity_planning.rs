@@ -1,0 +1,64 @@
+//! Capacity planning with miss-ratio curves: how much Tier-2 does a
+//! workload actually need? One trace pass answers for *every* capacity at
+//! once (Mattson's stack algorithm), and the answer predicts the measured
+//! tiering results.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use gmt::analysis::runner::{geometry_for, run_system, SystemKind};
+use gmt::analysis::table::{fmt_pct, Table};
+use gmt::core::PolicyKind;
+use gmt::mem::TierGeometry;
+use gmt::reuse::mrc::MissRatioCurve;
+use gmt::workloads::{backprop::Backprop, Workload, WorkloadScale};
+
+fn main() {
+    let workload = Backprop::with_scale(&WorkloadScale::pages(5_120));
+    let touches = workload
+        .trace(1)
+        .into_iter()
+        .flat_map(|a| a.pages.iter().collect::<Vec<_>>());
+    let mrc = MissRatioCurve::from_trace(touches);
+    println!(
+        "Backprop: {} accesses, {} compulsory misses\n",
+        mrc.accesses(),
+        mrc.cold_misses()
+    );
+
+    // Step 1: read the curve.
+    let tier1 = 512usize;
+    let mut curve = Table::new(vec!["capacity (pages)", "LRU miss ratio"]);
+    for capacity in [tier1, 2 * tier1, 3 * tier1, 5 * tier1, 8 * tier1, 10 * tier1] {
+        curve.row(vec![capacity.to_string(), fmt_pct(mrc.miss_ratio(capacity))]);
+    }
+    println!("{curve}");
+    match mrc.capacity_for(0.3) {
+        Some(c) => println!("smallest capacity for a 30% miss ratio: {c} pages\n"),
+        None => println!("a 30% miss ratio is unreachable (cold misses dominate)\n"),
+    }
+
+    // Step 2: confirm with real tiering runs at two memory provisionings
+    // (over-subscription 2 vs 1.25: the latter holds most of the working
+    // set in memory, which the curve predicts pays off sharply).
+    let mut confirm = Table::new(vec![
+        "T1+T2 pages",
+        "predicted miss @ |T1|+|T2|",
+        "measured GMT-Reuse SSD reads / miss",
+    ]);
+    for os in [2.0f64, 1.25] {
+        let geometry = TierGeometry::from_total(workload.total_pages(), 4.0, os);
+        let r = run_system(&workload, SystemKind::Gmt(PolicyKind::Reuse), &geometry, 1);
+        let ssd_per_miss = r.metrics.ssd_reads as f64 / r.metrics.t1_misses.max(1) as f64;
+        confirm.row(vec![
+            (geometry.tier1_pages + geometry.tier2_pages).to_string(),
+            fmt_pct(mrc.miss_ratio(geometry.tier1_pages + geometry.tier2_pages)),
+            fmt_pct(ssd_per_miss),
+        ]);
+    }
+    println!("{confirm}");
+    println!("(the better-provisioned geometry's lower predicted miss ratio shows up");
+    println!(" as a smaller share of Tier-1 misses falling through to the SSD)");
+    let _ = geometry_for(&workload, 4.0, 2.0); // see `geometry_for` for the one-liner
+}

@@ -1,0 +1,36 @@
+//! Quickstart: run one workload through GMT-Reuse and BaM, and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gmt::analysis::runner::{geometry_for, run_system, SystemKind};
+use gmt::core::PolicyKind;
+use gmt::workloads::{srad::Srad, Workload, WorkloadScale};
+
+fn main() {
+    // Size Srad so its working set over-subscribes Tier-1 + Tier-2 by 2x
+    // (the paper's default), with Tier-2 four times larger than Tier-1.
+    let workload = Srad::with_scale(&WorkloadScale::pages(5_120));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    println!(
+        "Srad over {} pages (Tier-1 = {}, Tier-2 = {})",
+        workload.total_pages(),
+        geometry.tier1_pages,
+        geometry.tier2_pages
+    );
+
+    let bam = run_system(&workload, SystemKind::Bam, &geometry, 1);
+    let gmt = run_system(&workload, SystemKind::Gmt(PolicyKind::Reuse), &geometry, 1);
+
+    println!("BaM        : {} ({} SSD reads)", bam.elapsed, bam.metrics.ssd_reads);
+    println!(
+        "GMT-Reuse  : {} ({} SSD reads, {} Tier-2 hits, {:.1}% prediction accuracy)",
+        gmt.elapsed,
+        gmt.metrics.ssd_reads,
+        gmt.metrics.t2_hits,
+        gmt.metrics.prediction_accuracy() * 100.0
+    );
+    println!("Speedup    : {:.2}x", gmt.speedup_over(&bam));
+    println!("SSD I/O cut: {:.1}%", (1.0 - gmt.io_ratio_vs(&bam)) * 100.0);
+}

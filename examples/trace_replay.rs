@@ -1,0 +1,45 @@
+//! Record once, replay everywhere: serialize an expensive trace (a BFS
+//! over a generated graph) to the compact binary format and replay the
+//! *identical* accesses through two systems.
+//!
+//! ```sh
+//! cargo run --release --example trace_replay
+//! ```
+
+use gmt::analysis::runner::geometry_for;
+use gmt::baselines::{Bam, BamConfig};
+use gmt::core::{Gmt, GmtConfig};
+use gmt::gpu::{Executor, ExecutorConfig};
+use gmt::mem::trace;
+use gmt::workloads::{bfs::Bfs, Workload, WorkloadScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Expensive step: generate the graph and run BFS once.
+    let workload = Bfs::with_scale(&WorkloadScale::pages(600));
+    let accesses = workload.trace(11);
+    println!(
+        "BFS trace: {} warp accesses over {} pages",
+        accesses.len(),
+        workload.total_pages()
+    );
+
+    // Record it: ~9 bytes per access.
+    let bytes = trace::encode(&accesses);
+    println!("serialized: {} bytes ({:.1} B/access)", bytes.len(), bytes.len() as f64 / accesses.len() as f64);
+
+    // Replay from the serialized form — no graph generation needed.
+    let replayed = trace::decode(&bytes)?;
+    assert_eq!(replayed, accesses);
+
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let exec = Executor::new(ExecutorConfig::default());
+    let bam = exec.run(Bam::new(BamConfig::new(geometry)), replayed.iter().cloned());
+    let gmt = exec.run(Gmt::new(GmtConfig::new(geometry)), replayed.iter().cloned());
+    println!("BaM       : {}", bam.elapsed);
+    println!("GMT-Reuse : {}", gmt.elapsed);
+    println!(
+        "speedup   : {:.2}x",
+        bam.elapsed.as_secs_f64() / gmt.elapsed.as_secs_f64()
+    );
+    Ok(())
+}

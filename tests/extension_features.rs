@@ -1,0 +1,196 @@
+//! Integration tests for the default-off extensions (DESIGN.md §6): each
+//! must compose with the full runtime without perturbing the published
+//! default behaviour.
+
+use gmt::analysis::runner::{geometry_for, run_system, run_system_with, SystemKind};
+use gmt::baselines::{Bam, BamConfig};
+use gmt::core::{GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
+use gmt::gpu::{Executor, ExecutorConfig};
+use gmt::workloads::synthetic::{SequentialScan, ZipfLoop};
+use gmt::workloads::{hotspot::Hotspot, srad::Srad, Workload, WorkloadScale};
+
+const SEED: u64 = 5;
+
+#[test]
+fn prefetching_speeds_up_latency_bound_scans() {
+    // Prefetching hides latency; it cannot add bandwidth. With thousands
+    // of warps a scan is bandwidth-bound and prefetching is neutral, so
+    // run with few warps (an under-occupied kernel) where each demand
+    // miss's 130 us stall is on the critical path.
+    use gmt::core::Gmt;
+    let workload = SequentialScan::new(&WorkloadScale::pages(1_500), 2);
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let exec = Executor::new(ExecutorConfig {
+        warp_slots: 4,
+        compute_per_access: gmt::sim::Dur::from_nanos(150),
+    });
+    let base = GmtConfig::new(geometry);
+    let mut prefetching = base;
+    prefetching.prefetch_degree = 8;
+    let trace = workload.trace(SEED);
+    let plain = exec.run(Gmt::new(base), trace.iter().cloned());
+    let fast = exec.run(Gmt::new(prefetching), trace.iter().cloned());
+    let (pm, fm) = (plain.backend.metrics(), fast.backend.metrics());
+    assert!(fm.prefetches > 0);
+    assert!(
+        fm.t1_misses * 2 < pm.t1_misses,
+        "prefetching must at least halve demand misses: {} vs {}",
+        fm.t1_misses,
+        pm.t1_misses
+    );
+    // Elapsed improves until the SSD's bandwidth cap takes over; the
+    // under-occupied run sits at ~2/3 of that cap, so expect >=10%.
+    assert!(
+        fast.elapsed.as_nanos() * 10 < plain.elapsed.as_nanos() * 9,
+        "prefetching must speed up a latency-bound scan: {} vs {}",
+        fast.elapsed,
+        plain.elapsed
+    );
+}
+
+#[test]
+fn prefetching_accounts_every_page_exactly_once() {
+    let workload = SequentialScan::new(&WorkloadScale::pages(800), 1);
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut config = GmtConfig::new(geometry);
+    config.prefetch_degree = 4;
+    let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, SEED);
+    // Every page enters Tier-1 exactly once (demand or prefetch) on a
+    // single clean scan.
+    assert_eq!(
+        r.metrics.ssd_reads + r.metrics.prefetches,
+        workload.total_pages() as u64,
+        "reads {} + prefetches {} vs {} pages",
+        r.metrics.ssd_reads,
+        r.metrics.prefetches,
+        workload.total_pages()
+    );
+    assert!(r.metrics.prefetches > 0, "the scan must trigger prefetches");
+}
+
+#[test]
+fn ssd_arrays_relieve_the_storage_bottleneck() {
+    let workload = Hotspot::with_scale(&WorkloadScale::pages(1_500));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let trace = workload.trace(SEED);
+    let exec = Executor::new(ExecutorConfig::default());
+    let one = exec.run(
+        Bam::new(BamConfig::new(geometry)),
+        trace.iter().cloned(),
+    );
+    let four = exec.run(
+        Bam::new(BamConfig::new(geometry).with_devices(4)),
+        trace.iter().cloned(),
+    );
+    assert!(
+        four.elapsed.as_nanos() * 2 < one.elapsed.as_nanos(),
+        "4 SSDs must at least halve an I/O-bound run: {} vs {}",
+        four.elapsed,
+        one.elapsed
+    );
+    assert_eq!(one.backend.metrics().ssd_reads, four.backend.metrics().ssd_reads);
+}
+
+#[test]
+fn tier2_eviction_variants_all_run_cleanly() {
+    let workload = Srad::with_scale(&WorkloadScale::pages(1_000));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    for mode in [
+        Tier2Insert::EvictFifo,
+        Tier2Insert::EvictClock,
+        Tier2Insert::EvictRandom,
+        Tier2Insert::RejectWhenFull,
+    ] {
+        let mut config = GmtConfig::new(geometry);
+        config.tier2_insert = Some(mode);
+        let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, SEED);
+        assert!(r.metrics.t2_hits > 0, "{mode:?} produced no tier-2 hits");
+        assert_eq!(
+            r.metrics.t2_placements + r.metrics.discards + r.metrics.ssd_writes,
+            r.metrics.t1_evictions,
+            "{mode:?} broke the eviction partition"
+        );
+    }
+}
+
+#[test]
+fn clock_tier2_behaves_like_fifo_with_exclusive_tiers() {
+    // The documented ablation finding: with exclusive tiers, pages are
+    // never referenced while resident in Tier-2, so clock degenerates to
+    // FIFO-like behaviour (equal hit counts on a deterministic sweep).
+    let workload = Srad::with_scale(&WorkloadScale::pages(1_000));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut fifo_cfg = GmtConfig::new(geometry);
+    fifo_cfg.tier2_insert = Some(Tier2Insert::EvictFifo);
+    let mut clock_cfg = GmtConfig::new(geometry);
+    clock_cfg.tier2_insert = Some(Tier2Insert::EvictClock);
+    let fifo = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &fifo_cfg, SEED);
+    let clock = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &clock_cfg, SEED);
+    let (a, b) = (fifo.metrics.t2_hits as f64, clock.metrics.t2_hits as f64);
+    assert!(
+        (a - b).abs() / a.max(1.0) < 0.01,
+        "clock tier-2 must track FIFO within 1%: {a} vs {b}"
+    );
+}
+
+#[test]
+fn markov_beats_one_level_history_on_alternating_patterns() {
+    // Srad's per-page correct tiers alternate (medium within an
+    // iteration, long across iterations) — the Fig. 4c pattern the
+    // 2-level Markov history exists for. A 1-level "same as last time"
+    // predictor is wrong on every alternation.
+    let workload = Srad::with_scale(&WorkloadScale::pages(1_000));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let accuracy = |kind: PredictorKind| {
+        let mut config = GmtConfig::new(geometry);
+        config.reuse.predictor = kind;
+        run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, SEED)
+            .metrics
+            .prediction_accuracy()
+    };
+    let markov = accuracy(PredictorKind::Markov);
+    let last = accuracy(PredictorKind::LastTier);
+    assert!(
+        markov > last + 0.2,
+        "Markov ({markov:.3}) must clearly beat 1-level history ({last:.3})"
+    );
+}
+
+#[test]
+fn per_page_markov_runs_and_grades_predictions() {
+    let workload = Srad::with_scale(&WorkloadScale::pages(1_000));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let mut config = GmtConfig::new(geometry);
+    config.reuse.markov_scope = MarkovScope::PerPage;
+    let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, SEED);
+    assert!(r.metrics.predictions > 0);
+    assert!(r.metrics.prediction_accuracy() > 0.3, "per-page accuracy collapsed");
+}
+
+#[test]
+fn synthetic_zipf_behaves_like_a_cache_friendly_workload() {
+    let workload = ZipfLoop::new(&WorkloadScale::pages(2_000), 0.99, 0.05, 40_000);
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let bam = run_system(&workload, SystemKind::Bam, &geometry, SEED);
+    let gmt = run_system(&workload, SystemKind::Gmt(PolicyKind::Reuse), &geometry, SEED);
+    assert!(bam.metrics.t1_hit_rate() > 0.5, "hot set must mostly hit tier-1");
+    assert!(gmt.speedup_over(&bam) >= 0.95, "tier-2 must not hurt a zipf loop");
+}
+
+#[test]
+fn async_eviction_composes_with_every_policy() {
+    let workload = Hotspot::with_scale(&WorkloadScale::pages(1_000));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    for policy in PolicyKind::ALL {
+        let sync_cfg = GmtConfig::new(geometry).with_policy(policy);
+        let mut async_cfg = sync_cfg;
+        async_cfg.async_eviction = true;
+        let sync_run = run_system_with(&workload, SystemKind::Gmt(policy), &sync_cfg, SEED);
+        let async_run = run_system_with(&workload, SystemKind::Gmt(policy), &async_cfg, SEED);
+        assert!(
+            async_run.elapsed <= sync_run.elapsed,
+            "{policy}: async eviction slowed the run"
+        );
+        assert_eq!(sync_run.metrics.t1_misses, async_run.metrics.t1_misses);
+    }
+}

@@ -1,0 +1,137 @@
+//! Semantic contracts of the three placement policies (paper §2.1): what
+//! each one *must* do with eviction victims, checked on controlled
+//! traffic.
+
+use gmt::core::{Gmt, GmtConfig, PolicyKind};
+use gmt::gpu::MemoryBackend;
+use gmt::mem::{PageId, TierGeometry, WarpAccess};
+use gmt::sim::Time;
+
+fn geometry() -> TierGeometry {
+    TierGeometry::from_tier1(16, 4.0, 2.0)
+}
+
+/// Streams `pages` single-touch reads through `gmt`.
+fn stream(gmt: &mut Gmt, pages: std::ops::Range<u64>) -> Time {
+    let mut now = Time::ZERO;
+    for p in pages {
+        now = gmt.access(now, &WarpAccess::read(PageId(p)));
+    }
+    now
+}
+
+#[test]
+fn tierorder_places_unconditionally() {
+    // §2.1.1: "each deeper level holds the victim of the immediately
+    // preceding level" — every eviction becomes a Tier-2 placement.
+    let mut gmt = Gmt::new(GmtConfig::new(geometry()).with_policy(PolicyKind::TierOrder));
+    stream(&mut gmt, 0..96);
+    let m = gmt.metrics();
+    assert_eq!(m.t2_placements, m.t1_evictions);
+    assert_eq!(m.discards, 0);
+    assert_eq!(m.ssd_writes, 0, "clean victims never reach the SSD under TierOrder");
+}
+
+#[test]
+fn random_splits_roughly_in_half() {
+    // §2.1.2: a fair coin decides Tier-2 vs bypass.
+    let mut gmt = Gmt::new(GmtConfig::new(geometry()).with_policy(PolicyKind::Random));
+    stream(&mut gmt, 0..160);
+    let m = gmt.metrics();
+    let placed = m.t2_placements as f64 / m.t1_evictions as f64;
+    assert!(
+        (0.35..0.65).contains(&placed),
+        "random placement fraction {placed} over {} evictions",
+        m.t1_evictions
+    );
+}
+
+#[test]
+fn reuse_bypasses_single_touch_streams() {
+    // Single-touch pages carry no history and no observed reuse: the
+    // stream default classifies them long-reuse, and clean long-reuse
+    // victims are discarded without any I/O.
+    let mut gmt = Gmt::new(GmtConfig::new(geometry()).with_policy(PolicyKind::Reuse));
+    stream(&mut gmt, 0..96);
+    let m = gmt.metrics();
+    assert!(
+        m.discards + m.forced_t2_placements >= m.t1_evictions * 9 / 10,
+        "stream victims must be bypassed or heuristic-forced: {m:?}"
+    );
+}
+
+#[test]
+fn reuse_keeps_short_reuse_candidates_in_tier1() {
+    // Pages with Tier-1-class reuse must get second chances rather than
+    // ping-pong through Tier-2 (§2.1.3 "short-reuse -> retain").
+    let g = geometry();
+    let mut gmt = Gmt::new(GmtConfig::new(g).with_policy(PolicyKind::Reuse));
+    let mut now = Time::ZERO;
+    // A hot set smaller than Tier-1 mixed with a cold stream: the hot set
+    // re-touches constantly.
+    let hot = 6u64;
+    for round in 0..400u64 {
+        for h in 0..hot {
+            now = gmt.access(now, &WarpAccess::read(PageId(h)));
+        }
+        let cold = hot + round;
+        now = gmt.access(now, &WarpAccess::read(PageId(cold % g.total_pages as u64)));
+    }
+    let m = gmt.metrics();
+    let hot_hit_floor = 400 * hot * 9 / 10;
+    assert!(
+        m.t1_hits >= hot_hit_floor,
+        "hot set must stay resident: {} hits < {hot_hit_floor}",
+        m.t1_hits
+    );
+}
+
+#[test]
+fn all_policies_agree_on_hit_and_miss_counts() {
+    // Placement policy affects *where victims go*, never what counts as a
+    // hit at access time on an identical one-pass trace.
+    let trace: Vec<WarpAccess> = (0..120u64).map(|p| WarpAccess::read(PageId(p))).collect();
+    let mut counts = Vec::new();
+    for policy in PolicyKind::ALL {
+        let mut gmt = Gmt::new(GmtConfig::new(geometry()).with_policy(policy));
+        let mut now = Time::ZERO;
+        for a in &trace {
+            now = gmt.access(now, a);
+        }
+        counts.push((gmt.metrics().t1_hits, gmt.metrics().t1_misses));
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts diverged: {counts:?}");
+}
+
+#[test]
+fn dirty_data_is_never_lost() {
+    // Whatever the policy, a dirty page must reach the SSD (directly or
+    // via a Tier-2 spill) or still be resident dirty somewhere.
+    for policy in PolicyKind::ALL {
+        let g = TierGeometry::from_tier1(8, 2.0, 4.0);
+        let mut gmt = Gmt::new(GmtConfig::new(g).with_policy(policy));
+        let mut now = Time::ZERO;
+        let dirtied = 24u64;
+        for p in 0..dirtied {
+            now = gmt.access(now, &WarpAccess::write(PageId(p)));
+        }
+        // Churn with reads to force evictions and spills.
+        for p in dirtied..g.total_pages as u64 {
+            now = gmt.access(now, &WarpAccess::read(PageId(p)));
+        }
+        let m = gmt.metrics();
+        let snap = gmt.snapshot();
+        let accounted = m.ssd_writes + m.t2_writebacks + snap.dirty_tier1 as u64
+            + snap.dirty_tier2 as u64;
+        assert!(
+            accounted >= dirtied,
+            "{policy}: {dirtied} dirtied but only {accounted} accounted \
+             (writes {} + spills {} + resident {} + {})",
+            m.ssd_writes,
+            m.t2_writebacks,
+            snap.dirty_tier1,
+            snap.dirty_tier2
+        );
+        gmt.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,121 @@
+//! Regression net for the workload generators: each of the nine
+//! applications must keep the reuse/RRD profile class documented in
+//! Table 2 / Fig. 7 — these classes are what every performance result in
+//! the evaluation is explained by, so silent generator drift would
+//! invalidate the figures.
+
+use gmt::analysis::{characterize, Characterization};
+use gmt::mem::{Tier, TierGeometry};
+use gmt::workloads::{suite, Workload, WorkloadScale};
+
+fn profiles() -> &'static Vec<Characterization> {
+    static PROFILES: std::sync::OnceLock<Vec<Characterization>> = std::sync::OnceLock::new();
+    PROFILES.get_or_init(|| {
+        suite(&WorkloadScale::pages(2_000))
+            .iter()
+            .map(|w| {
+                let geometry = TierGeometry::from_total(w.total_pages(), 4.0, 2.0);
+                characterize(w.as_ref(), &geometry, 1)
+            })
+            .collect()
+    })
+}
+
+fn profile(name: &str) -> &'static Characterization {
+    profiles()
+        .iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+#[test]
+fn lavamd_has_negligible_reuse() {
+    let c = profile("lavaMD");
+    assert!(c.reuse_pct < 0.1, "lavaMD reuse {}", c.reuse_pct);
+}
+
+#[test]
+fn pathfinder_is_tier1_biased() {
+    let c = profile("Pathfinder");
+    assert!(c.reuse_pct < 0.3, "pathfinder reuse {}", c.reuse_pct);
+    assert!(
+        c.tier_bias[Tier::Gpu.index()] > 0.95,
+        "pathfinder bias {:?}",
+        c.tier_bias
+    );
+}
+
+#[test]
+fn bfs_reuse_is_tier2_heavy() {
+    let c = profile("BFS");
+    assert_eq!(c.dominant_tier(), Tier::Host, "BFS bias {:?}", c.tier_bias);
+}
+
+#[test]
+fn multivectoradd_is_purely_medium_reuse() {
+    let c = profile("MultiVectorAdd");
+    assert!(
+        c.tier_bias[Tier::Host.index()] > 0.9,
+        "MVA bias {:?}",
+        c.tier_bias
+    );
+    assert!(c.reuse_pct > 0.1 && c.reuse_pct < 0.4, "MVA reuse {}", c.reuse_pct);
+}
+
+#[test]
+fn srad_is_high_reuse_tier2_dominant() {
+    let c = profile("Srad");
+    assert!(c.reuse_pct > 0.9, "srad reuse {}", c.reuse_pct);
+    assert_eq!(c.dominant_tier(), Tier::Host, "srad bias {:?}", c.tier_bias);
+}
+
+#[test]
+fn backprop_is_high_reuse_with_medium_component() {
+    let c = profile("Backprop");
+    assert!(c.reuse_pct > 0.9, "backprop reuse {}", c.reuse_pct);
+    assert!(
+        c.tier_bias[Tier::Host.index()] > 0.2,
+        "backprop must keep a solid Tier-2 component: {:?}",
+        c.tier_bias
+    );
+}
+
+#[test]
+fn graph_iterative_apps_are_tier3_biased() {
+    for name in ["PageRank", "SSSP"] {
+        let c = profile(name);
+        assert!(c.reuse_pct > 0.9, "{name} reuse {}", c.reuse_pct);
+        assert!(
+            c.tier_bias[Tier::Ssd.index()] > 0.9,
+            "{name} bias {:?}",
+            c.tier_bias
+        );
+    }
+}
+
+#[test]
+fn hotspot_is_entirely_long_reuse() {
+    let c = profile("Hotspot");
+    assert!(c.reuse_pct > 0.9, "hotspot reuse {}", c.reuse_pct);
+    assert!(
+        c.tier_bias[Tier::Ssd.index()] > 0.99,
+        "hotspot bias {:?}",
+        c.tier_bias
+    );
+}
+
+#[test]
+fn every_app_demands_more_than_its_address_space() {
+    // Over-subscription means multi-pass traffic: each app's demanded
+    // bytes must cover its address space at least once.
+    for c in profiles() {
+        let space_bytes = c.total_pages as u64 * 64 * 1024;
+        assert!(
+            c.demand_bytes >= space_bytes,
+            "{}: demanded {} < address space {}",
+            c.name,
+            c.demand_bytes,
+            space_bytes
+        );
+    }
+}
