@@ -112,7 +112,11 @@ pub fn characterize(
         total_pages: workload.total_pages(),
         accesses,
         page_touches,
-        reuse_pct: if touched == 0 { 0.0 } else { reused as f64 / touched as f64 },
+        reuse_pct: if touched == 0 {
+            0.0
+        } else {
+            reused as f64 / touched as f64
+        },
         demand_bytes: page_touches * geometry.page_bytes,
         rrd_histogram,
         tier_bias: [
@@ -229,8 +233,16 @@ mod tests {
         let w = MultiVectorAdd::with_scale(&WorkloadScale::pages(1000));
         let g = geometry_for(&w);
         let c = characterize(&w, &g, 1);
-        assert!(c.reuse_pct > 0.1 && c.reuse_pct < 0.5, "mva reuse {}", c.reuse_pct);
-        assert!(c.tier_bias[Tier::Host.index()] > 0.5, "tier bias {:?}", c.tier_bias);
+        assert!(
+            c.reuse_pct > 0.1 && c.reuse_pct < 0.5,
+            "mva reuse {}",
+            c.reuse_pct
+        );
+        assert!(
+            c.tier_bias[Tier::Host.index()] > 0.5,
+            "tier bias {:?}",
+            c.tier_bias
+        );
     }
 
     #[test]

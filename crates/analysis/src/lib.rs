@@ -14,6 +14,9 @@
 //! * [`runner`] — one-call execution of any workload on any system (BaM,
 //!   HMM, the three GMT policies) with paired speedup/I/O comparisons,
 //!   plus the §3.6 "optimistic HMM" estimate,
+//! * [`tracesum`] — summaries over captured decision traces: per-window
+//!   counters and occupancy, SSD queue-depth percentiles, and exact
+//!   reconciliation against [`gmt_core::TieringMetrics`],
 //! * [`table`] — fixed-width text tables for the figure binaries.
 
 #![forbid(unsafe_code)]
@@ -24,6 +27,7 @@ pub mod runner;
 pub mod sweep;
 pub mod table;
 pub mod timeline;
+pub mod tracesum;
 
 pub use characterize::{
     characterize, correlation, eviction_rrd_series, vtd_rd_pairs, Characterization,

@@ -119,7 +119,13 @@ pub fn run_system_with(
             (out.elapsed, out.backend.metrics(), out.backend.ssd_stats())
         }
     };
-    RunResult { workload: workload.name().to_string(), system, elapsed, metrics, ssd }
+    RunResult {
+        workload: workload.name().to_string(),
+        system,
+        elapsed,
+        metrics,
+        ssd,
+    }
 }
 
 /// Derives the geometry for a workload the way the paper does: non-graph
@@ -187,7 +193,10 @@ mod tests {
         // Srad is the paper's poster child for Tier-2 (133% speedup).
         let (bam, gmt) = srad_runs();
         let speedup = gmt.speedup_over(&bam);
-        assert!(speedup > 1.2, "GMT-Reuse speedup over BaM on Srad: {speedup}");
+        assert!(
+            speedup > 1.2,
+            "GMT-Reuse speedup over BaM on Srad: {speedup}"
+        );
         assert!(gmt.io_ratio_vs(&bam) < 0.8, "GMT must cut SSD I/O on Srad");
     }
 

@@ -33,7 +33,10 @@ pub fn capacity_ratio_sweep(
         .iter()
         .map(|&ratio| {
             let geometry = TierGeometry::from_total(workload.total_pages(), ratio, os);
-            (ratio, run_system_with(workload, system, &GmtConfig::new(geometry), seed))
+            (
+                ratio,
+                run_system_with(workload, system, &GmtConfig::new(geometry), seed),
+            )
         })
         .collect()
 }
@@ -51,7 +54,10 @@ pub fn oversubscription_sweep(
         .iter()
         .map(|&os| {
             let geometry = TierGeometry::from_total(workload.total_pages(), ratio, os);
-            (os, run_system_with(workload, system, &GmtConfig::new(geometry), seed))
+            (
+                os,
+                run_system_with(workload, system, &GmtConfig::new(geometry), seed),
+            )
         })
         .collect()
 }
@@ -87,25 +93,16 @@ mod tests {
     #[test]
     fn ratio_sweep_grows_tier2_hits() {
         let w = Srad::with_scale(&WorkloadScale::pages(800));
-        let runs = capacity_ratio_sweep(
-            &w,
-            &[1.0, 8.0],
-            2.0,
-            SystemKind::Gmt(PolicyKind::Reuse),
-            1,
-        );
+        let runs =
+            capacity_ratio_sweep(&w, &[1.0, 8.0], 2.0, SystemKind::Gmt(PolicyKind::Reuse), 1);
         assert!(runs[1].1.metrics.t2_hit_rate() >= runs[0].1.metrics.t2_hit_rate());
     }
 
     #[test]
     fn oversubscription_sweep_increases_pressure() {
         // A Zipf loop's miss count moves smoothly with Tier-1 capacity.
-        let w = gmt_workloads::synthetic::ZipfLoop::new(
-            &WorkloadScale::pages(800),
-            0.7,
-            0.0,
-            20_000,
-        );
+        let w =
+            gmt_workloads::synthetic::ZipfLoop::new(&WorkloadScale::pages(800), 0.7, 0.0, 20_000);
         let runs = oversubscription_sweep(&w, &[1.5, 4.0], 4.0, SystemKind::Bam, 1);
         // Higher over-subscription = smaller Tier-1 = more misses.
         assert!(runs[1].1.metrics.t1_misses > runs[0].1.metrics.t1_misses);
@@ -117,10 +114,7 @@ mod tests {
         let geometry = TierGeometry::from_total(w.total_pages(), 4.0, 2.0);
         let runs = system_matrix(&w, &geometry, 1);
         assert_eq!(runs.len(), 5);
-        let speedups: Vec<f64> = runs[1..]
-            .iter()
-            .map(|r| r.speedup_over(&runs[0]))
-            .collect();
+        let speedups: Vec<f64> = runs[1..].iter().map(|r| r.speedup_over(&runs[0])).collect();
         assert!(geo_mean(speedups.iter().copied()) > 0.0);
         // HMM slowest, GMT-Reuse among the fastest.
         assert!(runs[1].elapsed > runs[0].elapsed, "HMM slower than BaM");

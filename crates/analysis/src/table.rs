@@ -24,7 +24,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -52,7 +55,15 @@ impl Table {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }
@@ -101,7 +112,10 @@ impl std::fmt::Display for Table {
 /// variable is set to a non-empty value — so every figure binary can feed
 /// plotting scripts without reparsing aligned columns.
 pub fn emit(table: &Table) {
-    if std::env::var("GMT_CSV").map(|v| !v.is_empty()).unwrap_or(false) {
+    if std::env::var("GMT_CSV")
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+    {
         print!("{}", table.to_csv());
     } else {
         print!("{table}");

@@ -73,8 +73,9 @@ pub fn run_gmt_timeline(
     assert!(!trace.is_empty(), "cannot profile an empty trace");
     let interval = (trace.len() / snapshots).max(1);
     let mut gmt = Gmt::new(*config);
-    let mut warps: std::collections::BinaryHeap<std::cmp::Reverse<Time>> =
-        (0..executor.warp_slots).map(|_| std::cmp::Reverse(Time::ZERO)).collect();
+    let mut warps: std::collections::BinaryHeap<std::cmp::Reverse<Time>> = (0..executor.warp_slots)
+        .map(|_| std::cmp::Reverse(Time::ZERO))
+        .collect();
     let mut horizon = Time::ZERO;
     let mut points = Vec::with_capacity(snapshots + 1);
     for (i, access) in trace.iter().enumerate() {
@@ -127,8 +128,7 @@ mod tests {
     fn final_point_matches_one_shot_run() {
         let w = Srad::with_scale(&WorkloadScale::pages(1_000));
         let config = GmtConfig::new(geometry_for(&w, 4.0, 2.0));
-        let points =
-            run_gmt_timeline(&w, &config, &ExecutorConfig::default(), 1, 4);
+        let points = run_gmt_timeline(&w, &config, &ExecutorConfig::default(), 1, 4);
         let one_shot = crate::runner::run_system_with(
             &w,
             crate::runner::SystemKind::Gmt(gmt_core::PolicyKind::Reuse),

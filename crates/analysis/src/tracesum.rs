@@ -1,0 +1,516 @@
+//! Trace-derived summaries: decision counters, per-window timelines,
+//! and queue-depth distributions.
+//!
+//! The runtimes' [`TraceSink`](gmt_sim::trace::TraceSink) records every
+//! tiering decision as a typed event; this module turns a captured record
+//! stream back into numbers:
+//!
+//! * [`counters_from_trace`] — aggregate decision counters, with
+//!   [`TraceCounters::reconcile`] checking them *exactly* against the
+//!   runtime's own [`TieringMetrics`] (the differential tests' anchor),
+//! * [`summarize_windows`] — fixed-width time windows carrying counters,
+//!   Tier-1/Tier-2 occupancy, PCIe traffic and peak SSD queue depth, for
+//!   warm-up timelines and figure binaries,
+//! * [`queue_depth_percentiles`] — the distribution of instantaneous SSD
+//!   queue depth over the run.
+//!
+//! All summaries assume the capturing ring was large enough that nothing
+//! was dropped ([`TraceSink::dropped`](gmt_sim::trace::TraceSink::dropped)
+//! `== 0`); a truncated stream under-counts whatever scrolled off.
+
+use gmt_core::{Gmt, GmtConfig, TieringMetrics};
+use gmt_gpu::{Executor, ExecutorConfig};
+use gmt_sim::trace::{TierTag, TraceEvent, TraceRecord};
+use gmt_sim::Dur;
+use gmt_workloads::Workload;
+
+/// Decision counters recovered from a trace stream.
+///
+/// Field names mirror the derivable subset of [`TieringMetrics`]. The
+/// event → counter mapping is uniform across the GMT, BaM and HMM
+/// runtimes; each runtime emits exactly the events whose counters it
+/// increments (e.g. GMT's prefetcher reads the SSD without counting in
+/// `ssd_reads`, so it emits `prefetch` without a `t1_fill`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// `t1_hit` events.
+    pub t1_hits: u64,
+    /// `t1_miss` events.
+    pub t1_misses: u64,
+    /// `t2_hit` events.
+    pub t2_hits: u64,
+    /// `wasteful_lookup` events.
+    pub wasteful_lookups: u64,
+    /// `t1_fill` events sourced from Tier-3.
+    pub ssd_reads: u64,
+    /// `ssd_writeback` events.
+    pub ssd_writes: u64,
+    /// `evict` events.
+    pub t1_evictions: u64,
+    /// `t2_place` events.
+    pub t2_placements: u64,
+    /// `evict_discard` events.
+    pub discards: u64,
+    /// Dirty `t2_spill` events.
+    pub t2_writebacks: u64,
+    /// Clean `t2_spill` events.
+    pub t2_drops: u64,
+    /// `prefetch` events.
+    pub prefetches: u64,
+    /// `prediction` events.
+    pub predictions: u64,
+    /// ... of which were graded correct.
+    pub predictions_correct: u64,
+}
+
+impl TraceCounters {
+    fn add(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Tier1Hit { .. } => self.t1_hits += 1,
+            TraceEvent::Tier1Miss { .. } => self.t1_misses += 1,
+            TraceEvent::Tier2Hit { .. } => self.t2_hits += 1,
+            TraceEvent::WastefulLookup { .. } => self.wasteful_lookups += 1,
+            TraceEvent::Tier1Fill {
+                source: TierTag::Ssd,
+                ..
+            } => self.ssd_reads += 1,
+            TraceEvent::SsdWriteBack { .. } => self.ssd_writes += 1,
+            TraceEvent::Eviction { .. } => self.t1_evictions += 1,
+            TraceEvent::Tier2Place { .. } => self.t2_placements += 1,
+            TraceEvent::EvictDiscard { .. } => self.discards += 1,
+            TraceEvent::Tier2Spill { dirty: true, .. } => self.t2_writebacks += 1,
+            TraceEvent::Tier2Spill { dirty: false, .. } => self.t2_drops += 1,
+            TraceEvent::Prefetch { .. } => self.prefetches += 1,
+            TraceEvent::PredictionGraded { correct, .. } => {
+                self.predictions += 1;
+                self.predictions_correct += u64::from(*correct);
+            }
+            _ => {}
+        }
+    }
+
+    /// Checks every derivable counter against the runtime's own metrics,
+    /// returning the first mismatch as `field: trace=<n> metrics=<m>`.
+    ///
+    /// Exact equality is the contract: the trace is a faithful journal of
+    /// the decisions the counters summarize, so any drift is a bug in one
+    /// of the two bookkeepers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first differing counter.
+    pub fn reconcile(&self, metrics: &TieringMetrics) -> Result<(), String> {
+        let pairs = [
+            ("t1_hits", self.t1_hits, metrics.t1_hits),
+            ("t1_misses", self.t1_misses, metrics.t1_misses),
+            ("t2_hits", self.t2_hits, metrics.t2_hits),
+            (
+                "wasteful_lookups",
+                self.wasteful_lookups,
+                metrics.wasteful_lookups,
+            ),
+            ("ssd_reads", self.ssd_reads, metrics.ssd_reads),
+            ("ssd_writes", self.ssd_writes, metrics.ssd_writes),
+            ("t1_evictions", self.t1_evictions, metrics.t1_evictions),
+            ("t2_placements", self.t2_placements, metrics.t2_placements),
+            ("discards", self.discards, metrics.discards),
+            ("t2_writebacks", self.t2_writebacks, metrics.t2_writebacks),
+            ("t2_drops", self.t2_drops, metrics.t2_drops),
+            ("prefetches", self.prefetches, metrics.prefetches),
+            ("predictions", self.predictions, metrics.predictions),
+            (
+                "predictions_correct",
+                self.predictions_correct,
+                metrics.predictions_correct,
+            ),
+        ];
+        for (name, trace, counter) in pairs {
+            if trace != counter {
+                return Err(format!("{name}: trace={trace} metrics={counter}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Fraction of graded predictions that were correct, if any.
+    pub fn prediction_accuracy(&self) -> Option<f64> {
+        (self.predictions > 0).then(|| self.predictions_correct as f64 / self.predictions as f64)
+    }
+
+    /// Tier-2 hit rate over Tier-1 misses, if any missed.
+    pub fn t2_hit_rate(&self) -> Option<f64> {
+        (self.t1_misses > 0).then(|| self.t2_hits as f64 / self.t1_misses as f64)
+    }
+}
+
+/// One fully-traced GMT run: the captured stream plus the runtime's own
+/// bookkeeping, for cross-checking and window summaries.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Every record the ring retained, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// The runtime's counters at the end of the run.
+    pub metrics: TieringMetrics,
+    /// Total simulated execution time.
+    pub elapsed: Dur,
+    /// Records lost to ring overflow (0 means `records` is complete).
+    pub dropped: u64,
+}
+
+/// Replays `workload` through a traced [`Gmt`] runtime on the default
+/// executor, capturing up to `capacity` records.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn run_gmt_traced(
+    workload: &dyn Workload,
+    config: &GmtConfig,
+    seed: u64,
+    capacity: usize,
+) -> TracedRun {
+    let mut gmt = Gmt::new(*config);
+    let sink = gmt.enable_tracing(capacity);
+    let out = Executor::new(ExecutorConfig::default()).run(gmt, workload.trace(seed));
+    TracedRun {
+        records: sink.snapshot(),
+        metrics: out.backend.metrics(),
+        elapsed: out.elapsed,
+        dropped: sink.dropped(),
+    }
+}
+
+/// Aggregates the whole stream into one [`TraceCounters`].
+pub fn counters_from_trace(records: &[TraceRecord]) -> TraceCounters {
+    let mut counters = TraceCounters::default();
+    for r in records {
+        counters.add(&r.event);
+    }
+    counters
+}
+
+/// One fixed-width window of a summarized trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceWindow {
+    /// Window start (inclusive), ns since the run began.
+    pub start_ns: u64,
+    /// Window end (exclusive), ns.
+    pub end_ns: u64,
+    /// Decision counters for events inside the window.
+    pub counters: TraceCounters,
+    /// Pages resident in Tier-1 at the window's end (net fills plus
+    /// prefetches minus evictions since the run began).
+    pub t1_occupancy: u64,
+    /// Pages resident in Tier-2 at the window's end (net placements
+    /// minus spills and promotions).
+    pub t2_occupancy: u64,
+    /// Largest instantaneous SSD queue depth observed in the window.
+    pub max_queue_depth: u32,
+    /// Bytes that crossed PCIe toward the GPU inside the window.
+    pub pcie_bytes_to_gpu: u64,
+    /// Bytes that crossed PCIe toward the host inside the window.
+    pub pcie_bytes_to_host: u64,
+}
+
+/// Tracks which pages the trace says are resident in each memory tier.
+///
+/// Installs and removals are applied per *page*, not per event, so the
+/// double-removal corner (a Tier-2 page spilled by an eviction and then
+/// hit by the very access that triggered it) cannot drive the population
+/// negative. HMM's chunked migration, which emits `prefetch` and
+/// `t1_fill` back to back for one install, is likewise counted once.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyTracker {
+    tier1: std::collections::HashSet<u64>,
+    tier2: std::collections::HashSet<u64>,
+}
+
+impl OccupancyTracker {
+    /// Applies one event's tier movement.
+    pub fn apply(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::Tier1Fill { page, .. } | TraceEvent::Prefetch { page } => {
+                self.tier1.insert(*page);
+            }
+            TraceEvent::Eviction { page, .. } => {
+                self.tier1.remove(page);
+            }
+            TraceEvent::Tier2Place { page, .. } => {
+                self.tier2.insert(*page);
+            }
+            TraceEvent::Tier2Spill { page, .. } | TraceEvent::Tier2Hit { page } => {
+                self.tier2.remove(page);
+            }
+            _ => {}
+        }
+    }
+
+    /// Pages currently resident in Tier-1.
+    pub fn tier1_pages(&self) -> usize {
+        self.tier1.len()
+    }
+
+    /// Pages currently resident in Tier-2.
+    pub fn tier2_pages(&self) -> usize {
+        self.tier2.len()
+    }
+}
+
+/// Splits `records` into windows of `width` and summarizes each.
+///
+/// Windows are aligned to the run's origin (`[k·width, (k+1)·width)`) and
+/// the sequence is dense: quiet windows appear with zero counters so the
+/// timeline has even spacing. Occupancy is cumulative — a window reports
+/// the net population at its end ([`OccupancyTracker`] semantics), not
+/// the delta within it.
+///
+/// Returns an empty vector for an empty stream.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+pub fn summarize_windows(records: &[TraceRecord], width: Dur) -> Vec<TraceWindow> {
+    assert!(width > Dur::ZERO, "window width must be positive");
+    let Some(last) = records.last() else {
+        return Vec::new();
+    };
+    let width_ns = width.as_nanos();
+    let windows = last.at.as_nanos() / width_ns + 1;
+    let mut out: Vec<TraceWindow> = (0..windows)
+        .map(|k| TraceWindow {
+            start_ns: k * width_ns,
+            end_ns: (k + 1) * width_ns,
+            ..TraceWindow::default()
+        })
+        .collect();
+    let mut occupancy = OccupancyTracker::default();
+    for r in records {
+        let w = &mut out[(r.at.as_nanos() / width_ns) as usize];
+        w.counters.add(&r.event);
+        occupancy.apply(&r.event);
+        match &r.event {
+            TraceEvent::SsdSubmit { queue_depth, .. }
+            | TraceEvent::SsdComplete { queue_depth, .. } => {
+                w.max_queue_depth = w.max_queue_depth.max(*queue_depth);
+            }
+            TraceEvent::PcieBatch {
+                direction, bytes, ..
+            } => match direction {
+                gmt_sim::trace::LinkDir::ToGpu => w.pcie_bytes_to_gpu += bytes,
+                gmt_sim::trace::LinkDir::ToHost => w.pcie_bytes_to_host += bytes,
+            },
+            _ => {}
+        }
+        w.t1_occupancy = occupancy.tier1_pages() as u64;
+        w.t2_occupancy = occupancy.tier2_pages() as u64;
+    }
+    // Quiet windows inherit the occupancy standing at their start.
+    for k in 1..out.len() {
+        if out[k].counters == TraceCounters::default() {
+            out[k].t1_occupancy = out[k - 1].t1_occupancy;
+            out[k].t2_occupancy = out[k - 1].t2_occupancy;
+        }
+    }
+    out
+}
+
+/// Percentiles (nearest-rank) of instantaneous SSD queue depth, sampled
+/// at every `ssd_submit`/`ssd_complete` event.
+///
+/// `percentiles` are in `[0, 100]`. Returns an empty vector when the
+/// stream holds no device events.
+///
+/// # Panics
+///
+/// Panics if a requested percentile is outside `[0, 100]`.
+pub fn queue_depth_percentiles(records: &[TraceRecord], percentiles: &[f64]) -> Vec<u32> {
+    let mut samples: Vec<u32> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::SsdSubmit { queue_depth, .. }
+            | TraceEvent::SsdComplete { queue_depth, .. } => Some(queue_depth),
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_unstable();
+    percentiles
+        .iter()
+        .map(|&p| {
+            assert!(
+                (0.0..=100.0).contains(&p),
+                "percentile {p} outside [0, 100]"
+            );
+            let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+            samples[rank.saturating_sub(1).min(samples.len() - 1)]
+        })
+        .collect()
+}
+
+/// Prediction accuracy per window: `(window start ns, graded, accuracy)`
+/// for every window that graded at least one prediction.
+///
+/// The figure binaries plot this as accuracy-over-time (the intra-run
+/// view behind Fig. 9's end-of-run number).
+pub fn prediction_accuracy_over_time(records: &[TraceRecord], width: Dur) -> Vec<(u64, u64, f64)> {
+    summarize_windows(records, width)
+        .into_iter()
+        .filter_map(|w| {
+            w.counters
+                .prediction_accuracy()
+                .map(|acc| (w.start_ns, w.counters.predictions, acc))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmt_core::{Gmt, GmtConfig};
+    use gmt_gpu::{Executor, ExecutorConfig};
+    use gmt_mem::{PageId, TierGeometry, WarpAccess};
+    use gmt_sim::Time;
+
+    fn rec(t: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: Time::from_nanos(t),
+            vt: 0,
+            event,
+        }
+    }
+
+    fn traced_gmt_run(pages: u64) -> (Vec<TraceRecord>, TieringMetrics) {
+        let mut gmt = Gmt::new(GmtConfig::new(TierGeometry::from_tier1(16, 4.0, 2.0)));
+        let sink = gmt.enable_tracing(1 << 20);
+        let trace = (0..pages).map(|p| WarpAccess::read(PageId(p % 40)));
+        let out = Executor::new(ExecutorConfig::default()).run(gmt, trace);
+        assert_eq!(sink.dropped(), 0, "ring must hold the whole run");
+        (sink.snapshot(), out.backend.metrics())
+    }
+
+    #[test]
+    fn counters_reconcile_with_gmt_metrics() {
+        let (records, metrics) = traced_gmt_run(400);
+        let counters = counters_from_trace(&records);
+        counters
+            .reconcile(&metrics)
+            .expect("trace and metrics must agree");
+        assert!(counters.t1_misses > 0);
+    }
+
+    #[test]
+    fn reconcile_reports_the_differing_field() {
+        let counters = counters_from_trace(&[rec(1, TraceEvent::Tier1Hit { page: 0 })]);
+        let err = counters.reconcile(&TieringMetrics::default()).unwrap_err();
+        assert!(err.contains("t1_hits"), "{err}");
+    }
+
+    #[test]
+    fn windows_are_dense_and_sum_to_the_total() {
+        let (records, _) = traced_gmt_run(400);
+        let windows = summarize_windows(&records, Dur::from_micros(50));
+        assert!(!windows.is_empty());
+        for pair in windows.windows(2) {
+            assert_eq!(
+                pair[0].end_ns, pair[1].start_ns,
+                "windows must tile the run"
+            );
+        }
+        let total = counters_from_trace(&records);
+        let mut summed = TraceCounters::default();
+        for w in &windows {
+            summed.t1_hits += w.counters.t1_hits;
+            summed.t1_misses += w.counters.t1_misses;
+            summed.ssd_reads += w.counters.ssd_reads;
+        }
+        assert_eq!(summed.t1_hits, total.t1_hits);
+        assert_eq!(summed.t1_misses, total.t1_misses);
+        assert_eq!(summed.ssd_reads, total.ssd_reads);
+    }
+
+    #[test]
+    fn occupancy_respects_tier1_capacity() {
+        let (records, _) = traced_gmt_run(400);
+        let windows = summarize_windows(&records, Dur::from_micros(20));
+        let peak = windows.iter().map(|w| w.t1_occupancy).max().unwrap();
+        assert!(peak > 0);
+        assert!(peak <= 16, "occupancy {peak} exceeds the 16-page Tier-1");
+    }
+
+    #[test]
+    fn quiet_windows_carry_occupancy_forward() {
+        let records = vec![
+            rec(
+                10,
+                TraceEvent::Tier1Fill {
+                    page: 1,
+                    source: TierTag::Ssd,
+                    ready_ns: 10,
+                },
+            ),
+            rec(5_000, TraceEvent::Tier1Hit { page: 1 }),
+        ];
+        let windows = summarize_windows(&records, Dur::from_micros(1));
+        assert_eq!(windows.len(), 6);
+        for w in &windows {
+            assert_eq!(w.t1_occupancy, 1, "window at {} lost occupancy", w.start_ns);
+        }
+    }
+
+    #[test]
+    fn hmm_prefetch_fill_pair_installs_once() {
+        let records = vec![
+            rec(1, TraceEvent::Prefetch { page: 9 }),
+            rec(
+                1,
+                TraceEvent::Tier1Fill {
+                    page: 9,
+                    source: TierTag::Ssd,
+                    ready_ns: 2,
+                },
+            ),
+        ];
+        let windows = summarize_windows(&records, Dur::from_micros(1));
+        assert_eq!(windows.last().unwrap().t1_occupancy, 1);
+    }
+
+    #[test]
+    fn depth_percentiles_are_order_statistics() {
+        let records: Vec<TraceRecord> = (1..=100u32)
+            .map(|d| {
+                rec(
+                    d as u64,
+                    TraceEvent::SsdSubmit {
+                        device: 0,
+                        write: false,
+                        bytes: 4096,
+                        queue_depth: d,
+                    },
+                )
+            })
+            .collect();
+        let p = queue_depth_percentiles(&records, &[50.0, 99.0, 100.0]);
+        assert_eq!(p, vec![50, 99, 100]);
+        assert!(queue_depth_percentiles(&[], &[50.0]).is_empty());
+    }
+
+    #[test]
+    fn accuracy_over_time_skips_quiet_windows() {
+        let records = vec![
+            rec(
+                100,
+                TraceEvent::PredictionGraded {
+                    page: 1,
+                    predicted: TierTag::Host,
+                    actual: TierTag::Host,
+                    correct: true,
+                },
+            ),
+            rec(5_000, TraceEvent::Tier1Hit { page: 1 }),
+        ];
+        let series = prediction_accuracy_over_time(&records, Dur::from_micros(1));
+        assert_eq!(series, vec![(0, 1, 1.0)]);
+    }
+}

@@ -3,6 +3,7 @@
 use gmt_core::{GmtConfig, TieringMetrics};
 use gmt_gpu::MemoryBackend;
 use gmt_mem::{ClockList, PageTable, TierGeometry, WarpAccess};
+use gmt_sim::trace::{TierTag, TraceEvent, TraceSink};
 use gmt_sim::Time;
 use gmt_ssd::array::{ArrayConfig, SsdArray};
 use gmt_ssd::qpair::QueuePair;
@@ -33,7 +34,12 @@ pub struct BamConfig {
 impl BamConfig {
     /// BaM with the default SSD on the given capacities.
     pub fn new(geometry: TierGeometry) -> BamConfig {
-        BamConfig { geometry, ssd: SsdConfig::default(), ssd_devices: 1, queue_depth: 1024 }
+        BamConfig {
+            geometry,
+            ssd: SsdConfig::default(),
+            ssd_devices: 1,
+            queue_depth: 1024,
+        }
     }
 
     /// Same configuration striped over `devices` SSDs.
@@ -65,7 +71,11 @@ struct BamMeta {
 
 impl Default for BamMeta {
     fn default() -> BamMeta {
-        BamMeta { resident: false, dirty: false, ready_at: Time::ZERO }
+        BamMeta {
+            resident: false,
+            dirty: false,
+            ready_at: Time::ZERO,
+        }
     }
 }
 
@@ -95,6 +105,10 @@ pub struct Bam {
     table: PageTable<BamMeta>,
     ssd: BamStorage,
     metrics: TieringMetrics,
+    /// BaM has no coalesced-transaction counter of its own; for tracing,
+    /// one tick per distinct page touch mirrors GMT's convention.
+    vt: u64,
+    trace: TraceSink,
 }
 
 /// BaM's storage back-end: NVMe rings when a queue depth is configured
@@ -102,7 +116,7 @@ pub struct Bam {
 /// otherwise.
 #[derive(Debug)]
 enum BamStorage {
-    Rings(QueuePair),
+    Rings(Box<QueuePair>),
     Array(SsdArray),
 }
 
@@ -140,7 +154,10 @@ impl Bam {
             clock: ClockList::new(config.geometry.tier1_pages),
             table: PageTable::new(config.geometry.total_pages),
             ssd: if config.queue_depth >= 2 && config.ssd_devices <= 1 {
-                BamStorage::Rings(QueuePair::new(SsdDevice::new(config.ssd), config.queue_depth))
+                BamStorage::Rings(Box::new(QueuePair::new(
+                    SsdDevice::new(config.ssd),
+                    config.queue_depth,
+                )))
             } else {
                 BamStorage::Array(SsdArray::new(ArrayConfig {
                     device: config.ssd,
@@ -149,8 +166,33 @@ impl Bam {
                 }))
             },
             metrics: TieringMetrics::default(),
+            vt: 0,
+            trace: TraceSink::disabled(),
             config,
         }
+    }
+
+    /// Turns on decision tracing into a fresh ring of `capacity` records,
+    /// wiring the storage back-end (rings or array) into it. Returns a
+    /// handle to the shared sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceSink {
+        let sink = TraceSink::bounded(capacity);
+        self.trace = sink.clone();
+        match &mut self.ssd {
+            BamStorage::Rings(qp) => qp.attach_trace(&sink),
+            BamStorage::Array(array) => array.attach_trace(&sink),
+        }
+        sink
+    }
+
+    /// The baseline's trace sink (disabled unless
+    /// [`Bam::enable_tracing`] was called).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The baseline's configuration.
@@ -179,11 +221,25 @@ impl Bam {
         let offset = victim.0 * bytes;
         let meta = self.table.get_mut(victim);
         meta.resident = false;
-        if std::mem::take(&mut meta.dirty) {
+        let dirty = std::mem::take(&mut meta.dirty);
+        self.trace.emit(
+            now,
+            TraceEvent::Eviction {
+                page: victim.0,
+                predicted: None,
+                target: TierTag::Ssd,
+                dirty,
+            },
+        );
+        if dirty {
             self.metrics.ssd_writes += 1;
+            self.trace
+                .emit(now, TraceEvent::SsdWriteBack { page: victim.0 });
             self.ssd.write(now, offset, bytes)
         } else {
             self.metrics.discards += 1;
+            self.trace
+                .emit(now, TraceEvent::EvictDiscard { page: victim.0 });
             now
         }
     }
@@ -198,13 +254,23 @@ impl MemoryBackend for Bam {
                 page.index() < self.table.len(),
                 "page {page} outside the configured address space"
             );
+            self.vt += 1;
+            self.trace.set_vt(self.vt);
             let meta = self.table.get(page);
             if meta.resident {
                 ready = ready.max(meta.ready_at);
                 self.clock.touch(page);
                 self.metrics.t1_hits += 1;
+                self.trace.emit(now, TraceEvent::Tier1Hit { page: page.0 });
             } else {
                 self.metrics.t1_misses += 1;
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier1Miss {
+                        page: page.0,
+                        resident: TierTag::Ssd,
+                    },
+                );
                 if self.clock.is_full() {
                     let done = self.evict_one(now);
                     ready = ready.max(done);
@@ -212,6 +278,16 @@ impl MemoryBackend for Bam {
                 self.metrics.ssd_reads += 1;
                 let bytes = self.page_bytes();
                 let done = self.ssd.read(now, page.0 * bytes, bytes);
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Fill {
+                            page: page.0,
+                            source: TierTag::Ssd,
+                            ready_ns: done.as_nanos(),
+                        },
+                    );
+                }
                 self.clock.insert(page);
                 let meta = self.table.get_mut(page);
                 meta.resident = true;
@@ -223,6 +299,14 @@ impl MemoryBackend for Bam {
             }
         }
         ready
+    }
+
+    fn finish(&mut self, now: Time) -> Time {
+        match &mut self.ssd {
+            BamStorage::Rings(qp) => qp.flush_trace(now),
+            BamStorage::Array(array) => array.flush_trace(now),
+        }
+        now
     }
 }
 

@@ -3,6 +3,7 @@
 use gmt_core::{GmtConfig, TieringMetrics};
 use gmt_gpu::MemoryBackend;
 use gmt_mem::{ClockList, FifoCache, PageId, PageTable, Tier, TierGeometry, WarpAccess};
+use gmt_sim::trace::{TierTag, TraceEvent, TraceSink};
 use gmt_sim::{Dur, FifoServer, Link, ServerPool, Time};
 use gmt_ssd::{SsdConfig, SsdDevice};
 use serde::{Deserialize, Serialize};
@@ -64,7 +65,10 @@ impl HmmConfig {
 
 impl From<GmtConfig> for HmmConfig {
     fn from(config: GmtConfig) -> HmmConfig {
-        HmmConfig { ssd: config.ssd, ..HmmConfig::new(config.geometry) }
+        HmmConfig {
+            ssd: config.ssd,
+            ..HmmConfig::new(config.geometry)
+        }
     }
 }
 
@@ -77,7 +81,11 @@ struct HmmMeta {
 
 impl Default for HmmMeta {
     fn default() -> HmmMeta {
-        HmmMeta { tier: Tier::Ssd, dirty: false, ready_at: Time::ZERO }
+        HmmMeta {
+            tier: Tier::Ssd,
+            dirty: false,
+            ready_at: Time::ZERO,
+        }
     }
 }
 
@@ -112,6 +120,10 @@ pub struct Hmm {
     dma: Link,
     ssd: SsdDevice,
     metrics: TieringMetrics,
+    /// HMM has no coalesced-transaction counter of its own; for tracing,
+    /// one tick per distinct page touch mirrors GMT's convention.
+    vt: u64,
+    trace: TraceSink,
 }
 
 impl Hmm {
@@ -130,8 +142,29 @@ impl Hmm {
             dma: Link::new(config.dma_bytes_per_sec, Dur::from_micros(1)),
             ssd: SsdDevice::new(config.ssd),
             metrics: TieringMetrics::default(),
+            vt: 0,
+            trace: TraceSink::disabled(),
             config,
         }
+    }
+
+    /// Turns on decision tracing into a fresh ring of `capacity` records,
+    /// wiring the SSD device into it. Returns a handle to the shared sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceSink {
+        let sink = TraceSink::bounded(capacity);
+        self.trace = sink.clone();
+        self.ssd.attach_trace(&sink, 0);
+        sink
+    }
+
+    /// The baseline's trace sink (disabled unless
+    /// [`Hmm::enable_tracing`] was called).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The baseline's configuration.
@@ -165,6 +198,26 @@ impl Hmm {
         let victim = self.clock.evict_candidate();
         self.metrics.t1_evictions += 1;
         self.metrics.t2_placements += 1;
+        if self.trace.is_enabled() {
+            // UVM has no tier predictor: the host is always home.
+            let dirty = self.table.get(victim).dirty;
+            self.trace.emit(
+                now,
+                TraceEvent::Eviction {
+                    page: victim.0,
+                    predicted: None,
+                    target: TierTag::Host,
+                    dirty,
+                },
+            );
+            self.trace.emit(
+                now,
+                TraceEvent::Tier2Place {
+                    page: victim.0,
+                    dirty,
+                },
+            );
+        }
         let bytes = self.page_bytes();
         // Migrate device -> host over the DMA engine.
         let dma_done = self.dma.transfer(now + self.config.dma_gap, bytes);
@@ -173,9 +226,23 @@ impl Hmm {
             meta.tier = Tier::Ssd;
             if std::mem::take(&mut meta.dirty) {
                 self.metrics.t2_writebacks += 1;
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier2Spill {
+                        page: spilled.0,
+                        dirty: true,
+                    },
+                );
                 self.ssd.write(now, spilled.0 * bytes, bytes);
             } else {
                 self.metrics.t2_drops += 1;
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier2Spill {
+                        page: spilled.0,
+                        dirty: false,
+                    },
+                );
             }
         }
         let meta = self.table.get_mut(victim);
@@ -200,20 +267,33 @@ impl Hmm {
         }
         // 4. Source the page.
         let bytes = self.page_bytes();
-        let in_host = match self.table.get(page).tier {
+        let (in_host, source) = match self.table.get(page).tier {
             Tier::Host => {
                 self.metrics.t2_hits += 1;
+                self.trace.emit(now, TraceEvent::Tier2Hit { page: page.0 });
                 self.page_cache.remove(page);
-                handled.max(self.table.get(page).ready_at)
+                (handled.max(self.table.get(page).ready_at), TierTag::Host)
             }
             _ => {
                 self.metrics.wasteful_lookups += 1;
                 self.metrics.ssd_reads += 1;
-                self.ssd.read(handled, page.0 * bytes, bytes)
+                self.trace
+                    .emit(now, TraceEvent::WastefulLookup { page: page.0 });
+                (self.ssd.read(handled, page.0 * bytes, bytes), TierTag::Ssd)
             }
         };
         // 5. Migrate host -> device.
         let dma_done = self.dma.transfer(in_host + self.config.dma_gap, bytes);
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::Tier1Fill {
+                    page: page.0,
+                    source,
+                    ready_ns: dma_done.as_nanos(),
+                },
+            );
+        }
         self.clock.insert(page);
         let meta = self.table.get_mut(page);
         meta.tier = Tier::Gpu;
@@ -233,6 +313,19 @@ impl Hmm {
             let chunk_done = self.dma.transfer(fetched + self.config.dma_gap, bytes);
             self.metrics.ssd_reads += 1;
             self.metrics.prefetches += 1;
+            if self.trace.is_enabled() {
+                self.trace.emit(now, TraceEvent::Prefetch { page: next.0 });
+                // Unlike GMT's prefetcher, UVM's chunk reads count in
+                // `ssd_reads`, so they get a fill event too.
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier1Fill {
+                        page: next.0,
+                        source: TierTag::Ssd,
+                        ready_ns: chunk_done.as_nanos(),
+                    },
+                );
+            }
             self.clock.insert(next);
             let meta = self.table.get_mut(next);
             meta.tier = Tier::Gpu;
@@ -251,13 +344,30 @@ impl MemoryBackend for Hmm {
                 page.index() < self.table.len(),
                 "page {page} outside the configured address space"
             );
+            self.vt += 1;
+            self.trace.set_vt(self.vt);
             let meta = self.table.get(page);
             if meta.tier == Tier::Gpu {
                 ready = ready.max(meta.ready_at);
                 self.clock.touch(page);
                 self.metrics.t1_hits += 1;
+                self.trace.emit(now, TraceEvent::Tier1Hit { page: page.0 });
             } else {
                 self.metrics.t1_misses += 1;
+                if self.trace.is_enabled() {
+                    let resident = if meta.tier == Tier::Host {
+                        TierTag::Host
+                    } else {
+                        TierTag::Ssd
+                    };
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Miss {
+                            page: page.0,
+                            resident,
+                        },
+                    );
+                }
                 let done = self.fault(now, page);
                 ready = ready.max(done);
             }
@@ -266,6 +376,11 @@ impl MemoryBackend for Hmm {
             }
         }
         ready
+    }
+
+    fn finish(&mut self, now: Time) -> Time {
+        self.ssd.flush_trace(now);
+        now
     }
 }
 
@@ -333,7 +448,10 @@ mod tests {
         let drain = hmm.config().fault_drain_cost.as_nanos();
         for pair in completions.windows(2) {
             let gap = pair[1].since(pair[0]).as_nanos();
-            assert!(gap >= drain, "faults completed {gap} ns apart, drain is {drain} ns");
+            assert!(
+                gap >= drain,
+                "faults completed {gap} ns apart, drain is {drain} ns"
+            );
         }
     }
 
@@ -358,7 +476,10 @@ mod tests {
             cm.t1_misses,
             pm.t1_misses
         );
-        assert!(now_c < now_p, "fewer serialized faults must finish the scan sooner");
+        assert!(
+            now_c < now_p,
+            "fewer serialized faults must finish the scan sooner"
+        );
     }
 
     #[test]
@@ -393,6 +514,9 @@ mod tests {
         for p in 4..39 {
             now = read(&mut hmm, now, p);
         }
-        assert!(hmm.metrics().t2_writebacks > 0, "dirty spills must hit the SSD");
+        assert!(
+            hmm.metrics().t2_writebacks > 0,
+            "dirty spills must hit the SSD"
+        );
     }
 }

@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmt_analysis::runner::{geometry_for, run_system, run_system_with, SystemKind};
 use gmt_baselines::{Hmm, HmmConfig};
-use gmt_gpu::{Executor, ExecutorConfig};
 use gmt_core::{GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
+use gmt_gpu::{Executor, ExecutorConfig};
 use gmt_pcie::TransferMethod;
 use gmt_reuse::SamplerConfig;
 use gmt_workloads::{hotspot::Hotspot, srad::Srad, Workload, WorkloadScale};
@@ -62,7 +62,10 @@ fn bench_tier2_insert_mode(c: &mut Criterion) {
         let mut config = GmtConfig::new(geometry);
         config.tier2_insert = Some(mode);
         let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
-        println!("ablate_tier2_insert {name}: elapsed {} t2_hits {}", r.elapsed, r.metrics.t2_hits);
+        println!(
+            "ablate_tier2_insert {name}: elapsed {} t2_hits {}",
+            r.elapsed, r.metrics.t2_hits
+        );
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| {
                 black_box(run_system_with(
@@ -87,7 +90,10 @@ fn bench_transfer_method(c: &mut Criterion) {
         ("zero_copy", TransferMethod::ZeroCopy),
         ("hybrid_32t", TransferMethod::hybrid_32t()),
     ] {
-        let config = GmtConfig { transfer: method, ..GmtConfig::new(geometry) };
+        let config = GmtConfig {
+            transfer: method,
+            ..GmtConfig::new(geometry)
+        };
         let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
         println!("ablate_transfer {name}: elapsed {}", r.elapsed);
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
@@ -110,8 +116,21 @@ fn bench_sampling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_sampling");
     group.sample_size(10);
     for (name, sampler) in [
-        ("tiny_budget", SamplerConfig { sample_budget: 1_000, batch_size: 100, pipelined: true }),
-        ("end_of_sampling", SamplerConfig { pipelined: false, ..SamplerConfig::default() }),
+        (
+            "tiny_budget",
+            SamplerConfig {
+                sample_budget: 1_000,
+                batch_size: 100,
+                pipelined: true,
+            },
+        ),
+        (
+            "end_of_sampling",
+            SamplerConfig {
+                pipelined: false,
+                ..SamplerConfig::default()
+            },
+        ),
         ("paper_default", SamplerConfig::default()),
     ] {
         let mut config = GmtConfig::new(geometry);
@@ -172,7 +191,10 @@ fn bench_markov_scope(c: &mut Criterion) {
     let geometry = geometry_for(&workload, 4.0, 2.0);
     let mut group = c.benchmark_group("ablate_markov");
     group.sample_size(10);
-    for (name, scope) in [("global", MarkovScope::Global), ("per_page", MarkovScope::PerPage)] {
+    for (name, scope) in [
+        ("global", MarkovScope::Global),
+        ("per_page", MarkovScope::PerPage),
+    ] {
         let mut config = GmtConfig::new(geometry);
         config.reuse.markov_scope = scope;
         let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
@@ -246,8 +268,8 @@ fn bench_hmm_generosity(c: &mut Criterion) {
         config.fault_batch = batch;
         config.migration_chunk_pages = chunk;
         let trace = workload.trace(1);
-        let out = Executor::new(ExecutorConfig::default())
-            .run(Hmm::new(config), trace.iter().cloned());
+        let out =
+            Executor::new(ExecutorConfig::default()).run(Hmm::new(config), trace.iter().cloned());
         println!(
             "ablate_hmm {name}: elapsed {} ({}x of BaM's {})",
             out.elapsed,

@@ -4,18 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmt_analysis::runner::{geometry_for, run_system, SystemKind};
-use gmt_core::PolicyKind;
-use gmt_workloads::{
-    hotspot::Hotspot, lavamd::LavaMd, srad::Srad, Workload, WorkloadScale,
-};
+use gmt_core::{Gmt, GmtConfig, PolicyKind};
+use gmt_gpu::{Executor, ExecutorConfig};
+use gmt_workloads::{hotspot::Hotspot, lavamd::LavaMd, srad::Srad, Workload, WorkloadScale};
 use std::hint::black_box;
 
 fn bench_systems(c: &mut Criterion) {
     let scale = WorkloadScale::pages(800);
     let workloads: Vec<Box<dyn Workload>> = vec![
-        Box::new(LavaMd::with_scale(&scale)),   // Tier-1 biased
-        Box::new(Srad::with_scale(&scale)),     // Tier-2 biased
-        Box::new(Hotspot::with_scale(&scale)),  // Tier-3 biased
+        Box::new(LavaMd::with_scale(&scale)),  // Tier-1 biased
+        Box::new(Srad::with_scale(&scale)),    // Tier-2 biased
+        Box::new(Hotspot::with_scale(&scale)), // Tier-3 biased
     ];
     let systems = [
         SystemKind::Bam,
@@ -33,9 +32,7 @@ fn bench_systems(c: &mut Criterion) {
                 BenchmarkId::new(system.name(), workload.name()),
                 &system,
                 |b, &system| {
-                    b.iter(|| {
-                        black_box(run_system(workload.as_ref(), system, &geometry, 1))
-                    })
+                    b.iter(|| black_box(run_system(workload.as_ref(), system, &geometry, 1)))
                 },
             );
         }
@@ -43,5 +40,33 @@ fn bench_systems(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_systems);
+/// Decision-trace overhead, interleaved in one process so the two cases
+/// see the same machine state: tracing off must stay within noise of the
+/// plain run (it costs one branch per would-be event), tracing on shows
+/// the full recording cost.
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let workload = Hotspot::with_scale(&WorkloadScale::pages(800));
+    let geometry = geometry_for(&workload, 4.0, 2.0);
+    let accesses = workload.trace(1);
+    let exec = Executor::new(ExecutorConfig::default());
+    let mut group = c.benchmark_group("tracing");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let gmt = Gmt::new(GmtConfig::new(geometry));
+            black_box(exec.run(gmt, accesses.iter().cloned()))
+        })
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut gmt = Gmt::new(GmtConfig::new(geometry));
+            let sink = gmt.enable_tracing(1 << 22);
+            let out = exec.run(gmt, accesses.iter().cloned());
+            black_box((out, sink.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems, bench_tracing_overhead);
 criterion_main!(benches);

@@ -98,5 +98,12 @@ fn bench_predictors(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_clock, bench_fifo, bench_olken, bench_ssd, bench_predictors);
+criterion_group!(
+    benches,
+    bench_clock,
+    bench_fifo,
+    bench_olken,
+    bench_ssd,
+    bench_predictors
+);
 criterion_main!(benches);

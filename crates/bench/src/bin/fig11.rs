@@ -12,8 +12,12 @@ fn main() {
     let seed = bench_seed();
     let systems = fig8_systems();
     println!("Fig. 11: Tier-1 = {tier1} pages, Tier-2 = 4x, over-subscription 4\n");
-    let mut table =
-        Table::new(vec!["Application", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"]);
+    let mut table = Table::new(vec![
+        "Application",
+        "GMT-TierOrder",
+        "GMT-Random",
+        "GMT-Reuse",
+    ]);
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
     for p in prepared_suite(tier1, 4.0, 4.0) {
         let results = run_all(&p, &systems, seed);

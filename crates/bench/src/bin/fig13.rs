@@ -18,8 +18,12 @@ fn main() {
     println!("Fig. 13: doubled Tier-1 ({tier1} pages), ratio 4, over-subscription 2,");
     println!("non-graph applications\n");
     let scale = WorkloadScale::pages(tier1 * 10);
-    let mut table =
-        Table::new(vec!["Application", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"]);
+    let mut table = Table::new(vec![
+        "Application",
+        "GMT-TierOrder",
+        "GMT-Random",
+        "GMT-Reuse",
+    ]);
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
     for workload in non_graph_suite(&scale) {
         let geometry = geometry_for(workload.as_ref(), 4.0, 2.0);

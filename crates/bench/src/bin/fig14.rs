@@ -31,12 +31,8 @@ fn main() {
     for p in prepared_suite(tier1, 4.0, 2.0) {
         let results = run_all(&p, &systems, seed);
         let (bam, hmm, reuse) = (&results[0], &results[1], &results[2]);
-        let opt_elapsed = optimistic_hmm_elapsed(
-            hmm,
-            reuse,
-            Dur::from_micros(130),
-            Dur::from_micros(50),
-        );
+        let opt_elapsed =
+            optimistic_hmm_elapsed(hmm, reuse, Dur::from_micros(130), Dur::from_micros(50));
         let hmm_speed = hmm.speedup_over(bam);
         let reuse_speed = reuse.speedup_over(bam);
         let vs_hmm = hmm.elapsed.as_secs_f64() / reuse.elapsed.as_secs_f64();

@@ -7,9 +7,7 @@ use gmt_analysis::table::Table;
 use gmt_analysis::{correlation, vtd_rd_pairs};
 use gmt_bench::{bench_seed, bench_tier1_pages};
 use gmt_reuse::Ols;
-use gmt_workloads::{
-    multivectoradd::MultiVectorAdd, pagerank::PageRank, Workload, WorkloadScale,
-};
+use gmt_workloads::{multivectoradd::MultiVectorAdd, pagerank::PageRank, Workload, WorkloadScale};
 
 fn main() {
     let tier1 = bench_tier1_pages();
@@ -20,8 +18,13 @@ fn main() {
         Box::new(PageRank::with_scale(&scale)),
     ];
     println!("Fig. 4a: VTD vs reuse distance (Tier-1 = {tier1} pages)\n");
-    let mut table =
-        Table::new(vec!["Application", "pairs", "Pearson r", "OLS slope m", "OLS offset b"]);
+    let mut table = Table::new(vec![
+        "Application",
+        "pairs",
+        "Pearson r",
+        "OLS slope m",
+        "OLS offset b",
+    ]);
     for app in &apps {
         let pairs = vtd_rd_pairs(app.as_ref(), seed, 200_000);
         let r = correlation(&pairs);

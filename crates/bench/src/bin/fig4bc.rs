@@ -7,9 +7,7 @@ use gmt_analysis::eviction_rrd_series;
 use gmt_analysis::runner::geometry_for;
 use gmt_analysis::table::{fmt_pct, Table};
 use gmt_bench::{bench_seed, bench_tier1_pages};
-use gmt_workloads::{
-    multivectoradd::MultiVectorAdd, pagerank::PageRank, Workload, WorkloadScale,
-};
+use gmt_workloads::{multivectoradd::MultiVectorAdd, pagerank::PageRank, Workload, WorkloadScale};
 
 /// Coefficient of variation of a page's eviction-time RRD sequence.
 fn cv(rrds: &[u64]) -> f64 {

@@ -9,7 +9,11 @@ use gmt_pcie::TransferMethod;
 
 fn main() {
     println!("Fig. 6a: achieved bandwidth moving N non-contiguous 64 KB pages\n");
-    let mut table = Table::new(vec!["pages", "cudaMemcpyAsync (GB/s)", "zero-copy 32T (GB/s)"]);
+    let mut table = Table::new(vec![
+        "pages",
+        "cudaMemcpyAsync (GB/s)",
+        "zero-copy 32T (GB/s)",
+    ]);
     let mut crossover = None;
     for n in [1usize, 2, 4, 6, 8, 10, 12, 16, 24, 32, 48, 64] {
         let dma = batch_transfer_bandwidth(TransferMethod::DmaAsync, n);

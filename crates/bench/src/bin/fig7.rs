@@ -10,7 +10,9 @@ use gmt_bench::{bench_seed, bench_tier1_pages, prepared_suite};
 fn main() {
     let tier1 = bench_tier1_pages();
     let seed = bench_seed();
-    println!("Fig. 7: RRD distribution at Tier-1 evictions (Tier-1 = {tier1} pages, ratio 4, OS 2)\n");
+    println!(
+        "Fig. 7: RRD distribution at Tier-1 evictions (Tier-1 = {tier1} pages, ratio 4, OS 2)\n"
+    );
     let mut table = Table::new(vec![
         "Application",
         "Reuse %",

@@ -32,7 +32,8 @@ fn main() {
             p.workload.name().to_string(),
             fmt_pct(mrc.miss_ratio(t1)),
             fmt_pct(mrc.miss_ratio(t12)),
-            mrc.capacity_for(0.5).map_or("unreachable".into(), |c| c.to_string()),
+            mrc.capacity_for(0.5)
+                .map_or("unreachable".into(), |c| c.to_string()),
         ]);
     }
     gmt_analysis::table::emit(&table);

@@ -2,8 +2,8 @@
 //!
 //! Run with `cargo run -p gmt-bench --release --bin tab2`.
 
-use gmt_analysis::table::{fmt_pct, Table};
 use gmt_analysis::characterize;
+use gmt_analysis::table::{fmt_pct, Table};
 use gmt_bench::{bench_seed, bench_tier1_pages, prepared_suite};
 
 fn main() {

@@ -8,6 +8,7 @@
 use gmt_analysis::runner::geometry_for;
 use gmt_analysis::table::{fmt_pct, Table};
 use gmt_analysis::timeline::run_gmt_timeline;
+use gmt_analysis::tracesum::{run_gmt_traced, summarize_windows};
 use gmt_bench::{bench_seed, bench_tier1_pages};
 use gmt_core::GmtConfig;
 use gmt_gpu::ExecutorConfig;
@@ -20,10 +21,12 @@ fn main() {
     // (non-unique) wildly overestimates RD (unique) and the regression's
     // correction is what unlocks Tier-2 placement. Exactly the situation
     // the pipelined design helps early.
-    let workload =
-        ZipfLoop::new(&WorkloadScale::pages(tier1 * 10), 0.8, 0.1, tier1 * 80);
+    let workload = ZipfLoop::new(&WorkloadScale::pages(tier1 * 10), 0.8, 0.1, tier1 * 80);
     let geometry = geometry_for(&workload, 4.0, 2.0);
-    println!("Warm-up timeline on a Zipf(0.8) loop (Tier-1 = {} pages)\n", geometry.tier1_pages);
+    println!(
+        "Warm-up timeline on a Zipf(0.8) loop (Tier-1 = {} pages)\n",
+        geometry.tier1_pages
+    );
 
     let mut piped_cfg = GmtConfig::new(geometry);
     piped_cfg.reuse.sampler.pipelined = true;
@@ -53,4 +56,31 @@ fn main() {
     gmt_analysis::table::emit(&table);
     println!("(paper §2.1.3: pipelining samples every 10 000 to the CPU \"results in");
     println!(" better placement for the early part of the execution\")");
+
+    // The same warm-up, seen from the decision trace: tier occupancy and
+    // peak SSD queue depth per window of the pipelined run.
+    let run = run_gmt_traced(&workload, &piped_cfg, seed, 1 << 21);
+    let width = (run.elapsed / snapshots as u64).max(gmt_sim::Dur::from_nanos(1));
+    println!("\nTier occupancy over time (trace-derived, pipelined config):");
+    let mut occupancy = Table::new(vec![
+        "window start (us)",
+        "T1 pages",
+        "T2 pages",
+        "peak SSD depth",
+    ]);
+    for w in summarize_windows(&run.records, width) {
+        occupancy.row(vec![
+            (w.start_ns / 1_000).to_string(),
+            w.t1_occupancy.to_string(),
+            w.t2_occupancy.to_string(),
+            w.max_queue_depth.to_string(),
+        ]);
+    }
+    gmt_analysis::table::emit(&occupancy);
+    if run.dropped > 0 {
+        println!(
+            "(trace ring dropped {} early records; windows cover the tail)",
+            run.dropped
+        );
+    }
 }

@@ -49,7 +49,10 @@ pub fn bench_tier1_pages() -> usize {
 
 /// The seed every figure run uses (env `GMT_SEED`, default 1).
 pub fn bench_seed() -> u64 {
-    std::env::var("GMT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+    std::env::var("GMT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
 }
 
 /// A workload paired with the geometry it runs over.
@@ -63,9 +66,7 @@ pub struct Prepared {
 /// Builds the nine-application suite with per-app geometries at the given
 /// Tier-2:Tier-1 `ratio` and over-subscription `os`.
 pub fn prepared_suite(tier1_pages: usize, ratio: f64, os: f64) -> Vec<Prepared> {
-    let scale = WorkloadScale::pages(
-        ((tier1_pages as f64) * (1.0 + ratio) * os).round() as usize,
-    );
+    let scale = WorkloadScale::pages(((tier1_pages as f64) * (1.0 + ratio) * os).round() as usize);
     suite(&scale)
         .into_iter()
         .map(|workload| {
@@ -163,7 +164,11 @@ pub fn zipf_delivered_bandwidth(
 pub fn batch_transfer_bandwidth(method: TransferMethod, n: usize) -> f64 {
     const PAGE_BYTES: u64 = 64 * 1024;
     let mut link = HostLink::new(HostLinkConfig::default());
-    let batch = TransferBatch { pages: n, page_bytes: PAGE_BYTES, threads: 32 };
+    let batch = TransferBatch {
+        pages: n,
+        page_bytes: PAGE_BYTES,
+        threads: 32,
+    };
     let done = link.transfer(Time::ZERO, batch, method);
     batch.bytes() as f64 / done.since(Time::ZERO).as_secs_f64().max(1e-12)
 }
@@ -200,8 +205,14 @@ mod tests {
         let zc99 = bw(TransferMethod::ZeroCopy, 0.99);
         let dma0 = bw(TransferMethod::DmaAsync, 0.0);
         let dma99 = bw(TransferMethod::DmaAsync, 0.99);
-        assert!(zc0 > 1.3 * dma0, "ZC must clearly win at skew 0: {zc0:.2e} vs {dma0:.2e}");
-        assert!(zc99 < 0.8 * zc0, "ZC must degrade with skew: {zc99:.2e} vs {zc0:.2e}");
+        assert!(
+            zc0 > 1.3 * dma0,
+            "ZC must clearly win at skew 0: {zc0:.2e} vs {dma0:.2e}"
+        );
+        assert!(
+            zc99 < 0.8 * zc0,
+            "ZC must degrade with skew: {zc99:.2e} vs {zc0:.2e}"
+        );
         // DMA is flat: the engine is the bottleneck regardless of skew.
         assert!((dma0 - dma99).abs() < 0.1 * dma0, "DMA should be flat");
         // Every hybrid stays at least as good as pure DMA at every skew.
@@ -224,7 +235,10 @@ mod tests {
     fn zipf_micro_bandwidth_drops_with_skew() {
         let uniform = zipf_delivered_bandwidth(TransferMethod::hybrid(8), 0.0, 4096, 2000, 3);
         let skewed = zipf_delivered_bandwidth(TransferMethod::hybrid(8), 0.99, 4096, 2000, 3);
-        assert!(uniform > skewed, "fewer distinct pages must deliver less bandwidth");
+        assert!(
+            uniform > skewed,
+            "fewer distinct pages must deliver less bandwidth"
+        );
     }
 
     #[test]

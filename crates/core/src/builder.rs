@@ -31,7 +31,9 @@ pub struct GmtBuilder {
 impl GmtBuilder {
     /// Starts from the paper's defaults on the given capacities.
     pub fn new(geometry: TierGeometry) -> GmtBuilder {
-        GmtBuilder { config: GmtConfig::new(geometry) }
+        GmtBuilder {
+            config: GmtConfig::new(geometry),
+        }
     }
 
     /// Sets the eviction placement policy (default: GMT-Reuse).

@@ -224,7 +224,8 @@ mod tests {
     fn tier2_insert_defaults_follow_policy() {
         let base = GmtConfig::default();
         assert_eq!(
-            base.with_policy(PolicyKind::TierOrder).effective_tier2_insert(),
+            base.with_policy(PolicyKind::TierOrder)
+                .effective_tier2_insert(),
             Tier2Insert::EvictFifo
         );
         assert_eq!(
@@ -235,8 +236,10 @@ mod tests {
 
     #[test]
     fn explicit_tier2_insert_overrides() {
-        let mut c = GmtConfig::default();
-        c.tier2_insert = Some(Tier2Insert::EvictFifo);
+        let c = GmtConfig {
+            tier2_insert: Some(Tier2Insert::EvictFifo),
+            ..GmtConfig::default()
+        };
         assert_eq!(c.effective_tier2_insert(), Tier2Insert::EvictFifo);
     }
 

@@ -6,6 +6,7 @@ use gmt_gpu::MemoryBackend;
 use gmt_mem::{ClockList, PageId, PageTable, Tier, WarpAccess};
 use gmt_pcie::{HostLink, TransferBatch};
 use gmt_reuse::{MarkovPredictor, PageHistory, SamplingRegression, TierClassifier};
+use gmt_sim::trace::{LinkDir, TierTag, TraceEvent, TraceSink};
 use gmt_sim::Time;
 use gmt_ssd::array::{ArrayConfig, SsdArray};
 use gmt_ssd::host_io::{HostIo, HostIoConfig};
@@ -62,14 +63,17 @@ struct BypassWindow {
 
 impl BypassWindow {
     fn new(capacity: usize) -> BypassWindow {
-        BypassWindow { recent: VecDeque::with_capacity(capacity), t3_count: 0, capacity }
+        BypassWindow {
+            recent: VecDeque::with_capacity(capacity),
+            t3_count: 0,
+            capacity,
+        }
     }
 
     fn push(&mut self, predicted_t3: bool) {
-        if self.recent.len() == self.capacity {
-            if self.recent.pop_front().expect("window non-empty") {
-                self.t3_count -= 1;
-            }
+        if self.recent.len() == self.capacity && self.recent.pop_front().expect("window non-empty")
+        {
+            self.t3_count -= 1;
         }
         self.recent.push_back(predicted_t3);
         if predicted_t3 {
@@ -80,8 +84,7 @@ impl BypassWindow {
     /// Fraction of recent evictions predicted Tier-3; `None` until the
     /// window has filled once.
     fn t3_fraction(&self) -> Option<f64> {
-        (self.recent.len() == self.capacity)
-            .then(|| self.t3_count as f64 / self.capacity as f64)
+        (self.recent.len() == self.capacity).then(|| self.t3_count as f64 / self.capacity as f64)
     }
 }
 
@@ -164,6 +167,16 @@ pub struct Gmt {
     bypass: BypassWindow,
     metrics: TieringMetrics,
     latency: LatencyBreakdown,
+    trace: TraceSink,
+}
+
+/// Maps the memory model's [`Tier`] onto the trace vocabulary.
+fn tier_tag(tier: Tier) -> TierTag {
+    match tier {
+        Tier::Gpu => TierTag::Gpu,
+        Tier::Host => TierTag::Host,
+        Tier::Ssd => TierTag::Ssd,
+    }
 }
 
 impl Gmt {
@@ -174,15 +187,18 @@ impl Gmt {
     /// Panics if the geometry has zero-capacity tiers.
     pub fn new(config: GmtConfig) -> Gmt {
         let g = &config.geometry;
+        // One root RNG seeds every stochastic component: child streams are
+        // drawn from it (always, so the root stream does not depend on
+        // which components happen to be stochastic in this configuration).
+        let mut rng = gmt_sim::rng::seeded(config.seed);
+        let tier2_seed: u64 = rng.gen();
         Gmt {
             tier2_insert: config.effective_tier2_insert(),
             classifier: TierClassifier::from_geometry(g),
             clock: ClockList::new(g.tier1_pages),
             tier2: match config.effective_tier2_insert() {
                 Tier2Insert::EvictClock => Tier2Cache::clock(g.tier2_pages),
-                Tier2Insert::EvictRandom => {
-                    Tier2Cache::random(g.tier2_pages, gmt_sim::rng::derive(config.seed, 2))
-                }
+                Tier2Insert::EvictRandom => Tier2Cache::random(g.tier2_pages, tier2_seed),
                 _ => Tier2Cache::fifo(g.tier2_pages),
             },
             table: PageTable::new(g.total_pages),
@@ -199,12 +215,37 @@ impl Gmt {
             host_io: HostIo::new(HostIoConfig::default()),
             to_gpu: HostLink::new(config.host_link),
             to_host: HostLink::new(config.host_link),
-            rng: gmt_sim::rng::seeded(config.seed),
+            rng,
             bypass: BypassWindow::new(config.reuse.bypass_window.max(1)),
             metrics: TieringMetrics::default(),
             latency: LatencyBreakdown::default(),
+            trace: TraceSink::disabled(),
             config,
         }
+    }
+
+    /// Turns on decision tracing into a fresh ring of `capacity` records
+    /// and wires every component (SSD devices, both PCIe directions) into
+    /// it. Returns a handle to the shared sink — clone it into an
+    /// [`gmt_gpu::Executor`] via `attach_trace` to also capture warp
+    /// issues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceSink {
+        let sink = TraceSink::bounded(capacity);
+        self.trace = sink.clone();
+        self.ssd.attach_trace(&sink);
+        self.to_gpu.attach_trace(&sink, LinkDir::ToGpu);
+        self.to_host.attach_trace(&sink, LinkDir::ToHost);
+        sink
+    }
+
+    /// The runtime's trace sink (disabled unless
+    /// [`Gmt::enable_tracing`] was called).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The runtime's configuration.
@@ -323,7 +364,7 @@ impl Gmt {
     /// last eviction is now known, so the correct tier can be computed
     /// (Eq. 1 over the regression-projected RRD), the Markov chain
     /// trained, and the old prediction graded (Fig. 9).
-    fn on_refill(&mut self, page: PageId) {
+    fn on_refill(&mut self, now: Time, page: PageId) {
         let fit = self.sampler.fit();
         let vt = self.vt;
         let classifier = self.classifier;
@@ -336,8 +377,17 @@ impl Gmt {
                 if predicted == correct {
                     self.metrics.predictions_correct += 1;
                 }
+                self.trace.emit(
+                    now,
+                    TraceEvent::PredictionGraded {
+                        page: page.0,
+                        predicted: tier_tag(predicted),
+                        actual: tier_tag(correct),
+                        correct: predicted == correct,
+                    },
+                );
             }
-            let mut history = meta.history;
+            let mut history = self.table.get(page).history;
             let matrix = match &mut self.per_page_markov {
                 Some(per_page) => &mut per_page[page.index()],
                 None => &mut self.markov,
@@ -414,7 +464,11 @@ impl Gmt {
             }
             PolicyKind::Random => {
                 let v = self.clock.evict_candidate();
-                let t = if self.rng.gen_bool(0.5) { Tier::Host } else { Tier::Ssd };
+                let t = if self.rng.gen_bool(0.5) {
+                    Tier::Host
+                } else {
+                    Tier::Ssd
+                };
                 (v, t, t)
             }
             PolicyKind::Reuse => self.reuse_select(),
@@ -425,6 +479,18 @@ impl Gmt {
             let meta = self.table.get_mut(victim);
             meta.evicted_at_vt = Some(vt);
             meta.predicted = (self.config.policy == PolicyKind::Reuse).then_some(predicted);
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::Eviction {
+                    page: victim.0,
+                    predicted: (self.config.policy == PolicyKind::Reuse)
+                        .then(|| tier_tag(predicted)),
+                    target: tier_tag(target),
+                    dirty: self.table.get(victim).dirty,
+                },
+            );
         }
         match target {
             Tier::Host => self.place_in_tier2(now, victim),
@@ -449,8 +515,20 @@ impl Gmt {
             return self.bypass_to_ssd(now, victim);
         }
         self.metrics.t2_placements += 1;
-        let batch =
-            TransferBatch { pages: 1, page_bytes: self.page_bytes(), threads: 32 };
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::Tier2Place {
+                    page: victim.0,
+                    dirty: self.table.get(victim).dirty,
+                },
+            );
+        }
+        let batch = TransferBatch {
+            pages: 1,
+            page_bytes: self.page_bytes(),
+            threads: 32,
+        };
         let done = self.to_host.transfer(now, batch, self.config.transfer);
         self.table.get_mut(victim).tier = Tier::Host;
         self.table.get_mut(victim).ready_at = done;
@@ -467,6 +545,13 @@ impl Gmt {
             meta.dirty = false;
             dirty
         };
+        self.trace.emit(
+            now,
+            TraceEvent::Tier2Spill {
+                page: t2_victim.0,
+                dirty,
+            },
+        );
         if dirty {
             self.metrics.t2_writebacks += 1;
             let offset = self.ssd_offset(t2_victim);
@@ -491,11 +576,15 @@ impl Gmt {
         };
         if dirty {
             self.metrics.ssd_writes += 1;
+            self.trace
+                .emit(now, TraceEvent::SsdWriteBack { page: victim.0 });
             let offset = self.ssd_offset(victim);
             let bytes = self.page_bytes();
             self.ssd.write(now, offset, bytes)
         } else {
             self.metrics.discards += 1;
+            self.trace
+                .emit(now, TraceEvent::EvictDiscard { page: victim.0 });
             now
         }
     }
@@ -515,11 +604,12 @@ impl Gmt {
             self.evict_one(now);
         }
         self.metrics.prefetches += 1;
+        self.trace.emit(now, TraceEvent::Prefetch { page: page.0 });
         let offset = self.ssd_offset(page);
         let bytes = self.page_bytes();
         let done = self.ssd.read(now, offset, bytes);
         self.clock.insert(page);
-        self.on_refill(page);
+        self.on_refill(now, page);
         let meta = self.table.get_mut(page);
         meta.tier = Tier::Gpu;
         meta.ready_at = done;
@@ -542,6 +632,7 @@ impl MemoryBackend for Gmt {
             // timestamp advances per transaction (§2.1.3), keeping RVTD in
             // the same distinct-touch units the regression is trained on.
             self.vt += 1;
+            self.trace.set_vt(self.vt);
             if !self.sampler.is_complete() {
                 self.sampler.observe(page);
             }
@@ -552,9 +643,28 @@ impl MemoryBackend for Gmt {
                     self.clock.touch(page);
                     self.metrics.t1_hits += 1;
                     self.table.get_mut(page).touches_since_load += 1;
+                    self.trace.emit(now, TraceEvent::Tier1Hit { page: page.0 });
                 }
-                Tier::Host => tier2_fetches.push(page),
-                Tier::Ssd => ssd_fetches.push(page),
+                Tier::Host => {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Miss {
+                            page: page.0,
+                            resident: TierTag::Host,
+                        },
+                    );
+                    tier2_fetches.push(page);
+                }
+                Tier::Ssd => {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Miss {
+                            page: page.0,
+                            resident: TierTag::Ssd,
+                        },
+                    );
+                    ssd_fetches.push(page);
+                }
             }
         }
 
@@ -581,6 +691,7 @@ impl MemoryBackend for Gmt {
             self.metrics.t2_hits += tier2_fetches.len() as u64;
             let mut start = probe_done;
             for &page in &tier2_fetches {
+                self.trace.emit(now, TraceEvent::Tier2Hit { page: page.0 });
                 // An in-flight placement must land before it can be read.
                 start = start.max(self.table.get(page).ready_at);
                 self.tier2.remove(page);
@@ -591,10 +702,22 @@ impl MemoryBackend for Gmt {
                 threads: 32,
             };
             let done = self.to_gpu.transfer(start, batch, self.config.transfer);
-            self.latency.tier2_fetch_ns.record(done.since(now).as_nanos());
+            self.latency
+                .tier2_fetch_ns
+                .record(done.since(now).as_nanos());
             for &page in &tier2_fetches {
                 self.clock.insert(page);
-                self.on_refill(page);
+                self.on_refill(now, page);
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Fill {
+                            page: page.0,
+                            source: TierTag::Host,
+                            ready_ns: done.as_nanos(),
+                        },
+                    );
+                }
                 let meta = self.table.get_mut(page);
                 meta.tier = Tier::Gpu;
                 meta.ready_at = done;
@@ -606,12 +729,24 @@ impl MemoryBackend for Gmt {
         for &page in &ssd_fetches {
             self.metrics.wasteful_lookups += 1;
             self.metrics.ssd_reads += 1;
+            self.trace
+                .emit(now, TraceEvent::WastefulLookup { page: page.0 });
             let offset = self.ssd_offset(page);
             let bytes = self.page_bytes();
             let done = self.ssd.read(probe_done, offset, bytes);
             self.latency.ssd_fetch_ns.record(done.since(now).as_nanos());
             self.clock.insert(page);
-            self.on_refill(page);
+            self.on_refill(now, page);
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier1Fill {
+                        page: page.0,
+                        source: TierTag::Ssd,
+                        ready_ns: done.as_nanos(),
+                    },
+                );
+            }
             let meta = self.table.get_mut(page);
             meta.tier = Tier::Gpu;
             meta.ready_at = done;
@@ -624,7 +759,9 @@ impl MemoryBackend for Gmt {
         if self.config.prefetch_degree > 0 {
             let targets: Vec<PageId> = ssd_fetches
                 .iter()
-                .flat_map(|p| (1..=self.config.prefetch_degree as u64).map(move |d| PageId(p.0 + d)))
+                .flat_map(|p| {
+                    (1..=self.config.prefetch_degree as u64).map(move |d| PageId(p.0 + d))
+                })
                 .collect();
             for page in targets {
                 self.prefetch(now, page);
@@ -637,6 +774,12 @@ impl MemoryBackend for Gmt {
             }
         }
         ready
+    }
+
+    fn finish(&mut self, now: Time) -> Time {
+        // Reap the trailing SSD completion events into the trace.
+        self.ssd.flush_trace(now);
+        now
     }
 }
 
@@ -715,7 +858,10 @@ mod tests {
         // Promote page 0 back to Tier-1: it must leave Tier-2 (the
         // concurrent eviction refills the freed slot, so occupancy stays 8).
         now = read(&mut gmt, now, 0);
-        assert!(!gmt.tier2.contains(PageId(0)), "no duplication across tiers");
+        assert!(
+            !gmt.tier2.contains(PageId(0)),
+            "no duplication across tiers"
+        );
         assert_eq!(gmt.tier2_occupancy(), 8);
         // And it is now a Tier-1 hit.
         let hits_before = gmt.metrics().t1_hits;
@@ -748,7 +894,10 @@ mod tests {
             now = read(&mut gmt, now, p);
         }
         let m = gmt.metrics();
-        assert!(m.ssd_writes > 0, "dirty victims bypassing tier-2 must be written");
+        assert!(
+            m.ssd_writes > 0,
+            "dirty victims bypassing tier-2 must be written"
+        );
     }
 
     #[test]
@@ -759,7 +908,10 @@ mod tests {
             now = read(&mut gmt, now, p);
         }
         let m = gmt.metrics();
-        assert_eq!(m.wasteful_lookups, 8, "all cold misses probe tier-2 in vain");
+        assert_eq!(
+            m.wasteful_lookups, 8,
+            "all cold misses probe tier-2 in vain"
+        );
     }
 
     #[test]
@@ -851,7 +1003,10 @@ mod tests {
             }
         }
         let lat = gmt.latency_breakdown();
-        assert!(lat.tier2_fetch_ns.count() > 0, "some tier-2 fetches must occur");
+        assert!(
+            lat.tier2_fetch_ns.count() > 0,
+            "some tier-2 fetches must occur"
+        );
         assert!(lat.ssd_fetch_ns.count() > 0, "some SSD fetches must occur");
         assert!(
             lat.tier2_fetch_ns.mean() * 2.0 < lat.ssd_fetch_ns.mean(),
@@ -874,7 +1029,10 @@ mod tests {
             }
         }
         let m = gmt.metrics();
-        assert!(m.forced_t2_placements > 0, "heuristic must fire on a long-RRD scan");
+        assert!(
+            m.forced_t2_placements > 0,
+            "heuristic must fire on a long-RRD scan"
+        );
         assert!(m.t2_hits > 0, "forced placements must convert into hits");
     }
 
@@ -926,7 +1084,10 @@ mod tests {
         let a = plain.metrics();
         let b = prefetching.metrics();
         assert_eq!(a.prefetches, 0);
-        assert!(b.prefetches > 0, "prefetcher must fire on a sequential scan");
+        assert!(
+            b.prefetches > 0,
+            "prefetcher must fire on a sequential scan"
+        );
         assert!(
             b.t1_hits > a.t1_hits,
             "prefetched pages must convert misses into hits ({} vs {})",
@@ -949,6 +1110,9 @@ mod tests {
             now_s = write(&mut sync_gmt, now_s, p);
             now_a = write(&mut async_gmt, now_a, p);
         }
-        assert!(now_a <= now_s, "background eviction must not add critical-path time");
+        assert!(
+            now_a <= now_s,
+            "background eviction must not add critical-path time"
+        );
     }
 }

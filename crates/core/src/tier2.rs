@@ -65,7 +65,9 @@ impl Tier2Cache {
         match self {
             Tier2Cache::Fifo(c) => c.is_full(),
             Tier2Cache::Clock(c) => c.is_full(),
-            Tier2Cache::Random { resident, capacity, .. } => resident.len() == *capacity,
+            Tier2Cache::Random {
+                resident, capacity, ..
+            } => resident.len() == *capacity,
         }
     }
 
@@ -93,8 +95,16 @@ impl Tier2Cache {
                 }
                 victim
             }
-            Tier2Cache::Random { resident, index, capacity, rng } => {
-                assert!(!index.contains_key(&page), "page {page} already resident in tier-2");
+            Tier2Cache::Random {
+                resident,
+                index,
+                capacity,
+                rng,
+            } => {
+                assert!(
+                    !index.contains_key(&page),
+                    "page {page} already resident in tier-2"
+                );
                 if resident.len() == *capacity {
                     let slot = rng.gen_range(0..resident.len());
                     let victim = resident[slot];
@@ -118,7 +128,10 @@ impl Tier2Cache {
     /// Panics if `page` is already resident.
     pub(crate) fn insert_if_room(&mut self, page: PageId) -> bool {
         if self.is_full() {
-            assert!(!self.contains(page), "page {page} already resident in tier-2");
+            assert!(
+                !self.contains(page),
+                "page {page} already resident in tier-2"
+            );
             return false;
         }
         self.insert_evicting(page);
@@ -131,7 +144,9 @@ impl Tier2Cache {
         match self {
             Tier2Cache::Fifo(c) => c.remove(page),
             Tier2Cache::Clock(c) => c.remove(page),
-            Tier2Cache::Random { resident, index, .. } => match index.remove(&page) {
+            Tier2Cache::Random {
+                resident, index, ..
+            } => match index.remove(&page) {
                 Some(slot) => {
                     let last = resident.len() - 1;
                     resident.swap(slot, last);
@@ -176,7 +191,9 @@ mod tests {
             for p in 0..3 {
                 assert_eq!(cache.insert_evicting(PageId(p)), None);
             }
-            let victim = cache.insert_evicting(PageId(99)).expect("full cache evicts");
+            let victim = cache
+                .insert_evicting(PageId(99))
+                .expect("full cache evicts");
             assert!(victim.0 < 3, "victim {victim} was never inserted");
             assert!(!cache.contains(victim));
             assert!(cache.contains(PageId(99)));
@@ -208,6 +225,10 @@ mod tests {
                 victims.insert(v);
             }
         }
-        assert!(victims.len() > 4, "random eviction hit only {} distinct victims", victims.len());
+        assert!(
+            victims.len() > 4,
+            "random eviction hit only {} distinct victims",
+            victims.len()
+        );
     }
 }

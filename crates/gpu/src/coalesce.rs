@@ -31,7 +31,10 @@ pub const WARP_LANES: usize = 32;
 /// Panics if `page_bytes` is zero or `addresses` is empty.
 pub fn coalesce_addresses(addresses: &[u64], page_bytes: u64, write: bool) -> WarpAccess {
     assert!(page_bytes > 0, "page size must be positive");
-    assert!(!addresses.is_empty(), "a warp access touches at least one address");
+    assert!(
+        !addresses.is_empty(),
+        "a warp access touches at least one address"
+    );
     let mut pages: Vec<PageId> = Vec::with_capacity(4);
     for &addr in addresses {
         let page = PageId(addr / page_bytes);

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use gmt_mem::WarpAccess;
+use gmt_sim::trace::{TraceEvent, TraceSink};
 use gmt_sim::{Dur, Time};
 use serde::{Deserialize, Serialize};
 
@@ -48,7 +49,10 @@ pub struct ExecutorConfig {
 
 impl Default for ExecutorConfig {
     fn default() -> ExecutorConfig {
-        ExecutorConfig { warp_slots: 1024, compute_per_access: Dur::from_nanos(150) }
+        ExecutorConfig {
+            warp_slots: 1024,
+            compute_per_access: Dur::from_nanos(150),
+        }
     }
 }
 
@@ -93,6 +97,7 @@ pub struct RunOutcome<B> {
 #[derive(Debug, Clone)]
 pub struct Executor {
     config: ExecutorConfig,
+    trace: TraceSink,
 }
 
 impl Executor {
@@ -103,7 +108,16 @@ impl Executor {
     /// Panics if `config.warp_slots` is zero.
     pub fn new(config: ExecutorConfig) -> Executor {
         assert!(config.warp_slots > 0, "need at least one warp slot");
-        Executor { config }
+        Executor {
+            config,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Records each warp issue into `trace` as a
+    /// [`TraceEvent::WarpAccess`], stamped with the warp's issue time.
+    pub fn attach_trace(&mut self, trace: &TraceSink) {
+        self.trace = trace.clone();
     }
 
     /// The executor's configuration.
@@ -125,6 +139,17 @@ impl Executor {
         let mut horizon = Time::ZERO;
         for access in trace {
             let Reverse(ready) = warps.pop().expect("warp heap is never empty");
+            if self.trace.is_enabled() {
+                if let Some(page) = access.pages.iter().next() {
+                    self.trace.emit(
+                        ready,
+                        TraceEvent::WarpAccess {
+                            page: page.0,
+                            write: access.write,
+                        },
+                    );
+                }
+            }
             let data_ready = backend.access(ready, &access);
             let next_issue = data_ready + self.config.compute_per_access;
             horizon = horizon.max(next_issue);
@@ -132,7 +157,11 @@ impl Executor {
             accesses += 1;
         }
         let done = backend.finish(horizon);
-        RunOutcome { elapsed: done.since(Time::ZERO), accesses, backend }
+        RunOutcome {
+            elapsed: done.since(Time::ZERO),
+            accesses,
+            backend,
+        }
     }
 }
 
@@ -167,7 +196,10 @@ mod tests {
 
     #[test]
     fn many_warps_hide_latency() {
-        let cfg = ExecutorConfig { warp_slots: 10, compute_per_access: Dur::from_nanos(0) };
+        let cfg = ExecutorConfig {
+            warp_slots: 10,
+            compute_per_access: Dur::from_nanos(0),
+        };
         let out = Executor::new(cfg).run(Fixed(Dur::from_micros(1)), trace(10));
         // All ten run concurrently.
         assert_eq!(out.elapsed, Dur::from_micros(1));
@@ -175,7 +207,10 @@ mod tests {
 
     #[test]
     fn compute_time_is_charged_per_access() {
-        let cfg = ExecutorConfig { warp_slots: 1, compute_per_access: Dur::from_nanos(100) };
+        let cfg = ExecutorConfig {
+            warp_slots: 1,
+            compute_per_access: Dur::from_nanos(100),
+        };
         let out = Executor::new(cfg).run(Fixed(Dur::ZERO), trace(5));
         assert_eq!(out.elapsed, Dur::from_nanos(500));
     }
@@ -197,7 +232,8 @@ mod tests {
 
     #[test]
     fn empty_trace_is_instant() {
-        let out = Executor::new(ExecutorConfig::default()).run(Fixed(Dur::from_micros(1)), trace(0));
+        let out =
+            Executor::new(ExecutorConfig::default()).run(Fixed(Dur::from_micros(1)), trace(0));
         assert_eq!(out.elapsed, Dur::ZERO);
         assert_eq!(out.accesses, 0);
     }

@@ -97,7 +97,11 @@ impl PartitionedExecutor {
             }
         }
         let done = backend.finish(horizon);
-        RunOutcome { elapsed: done.since(Time::ZERO), accesses, backend }
+        RunOutcome {
+            elapsed: done.since(Time::ZERO),
+            accesses,
+            backend,
+        }
     }
 }
 
@@ -113,7 +117,11 @@ mod tests {
 
     impl MemoryBackend for Uneven {
         fn access(&mut self, now: Time, a: &WarpAccess) -> Time {
-            now + Dur::from_nanos(if a.pages.first().0 % 7 == 0 { 10_000 } else { 100 })
+            now + Dur::from_nanos(if a.pages.first().0.is_multiple_of(7) {
+                10_000
+            } else {
+                100
+            })
         }
     }
 
@@ -124,9 +132,12 @@ mod tests {
     #[test]
     fn single_warp_matches_flat_executor() {
         // With one warp both schedulers are fully serial and identical.
-        let cfg = ExecutorConfig { warp_slots: 1, compute_per_access: Dur::from_nanos(5) };
-        let a = Executor::new(cfg).run(Uneven, trace(200).into_iter());
-        let b = PartitionedExecutor::new(cfg).run(Uneven, trace(200).into_iter());
+        let cfg = ExecutorConfig {
+            warp_slots: 1,
+            compute_per_access: Dur::from_nanos(5),
+        };
+        let a = Executor::new(cfg).run(Uneven, trace(200));
+        let b = PartitionedExecutor::new(cfg).run(Uneven, trace(200));
         assert_eq!(a.elapsed, b.elapsed);
     }
 
@@ -137,9 +148,12 @@ mod tests {
         // to within a small factor — the property that makes trace replay
         // robust to the scheduling assumption.
         for slots in [2usize, 8, 32] {
-            let cfg = ExecutorConfig { warp_slots: slots, compute_per_access: Dur::ZERO };
-            let flat = Executor::new(cfg).run(Uneven, trace(2_000).into_iter());
-            let part = PartitionedExecutor::new(cfg).run(Uneven, trace(2_000).into_iter());
+            let cfg = ExecutorConfig {
+                warp_slots: slots,
+                compute_per_access: Dur::ZERO,
+            };
+            let flat = Executor::new(cfg).run(Uneven, trace(2_000));
+            let part = PartitionedExecutor::new(cfg).run(Uneven, trace(2_000));
             let ratio = part.elapsed.as_nanos() as f64 / flat.elapsed.as_nanos() as f64;
             assert!(
                 (0.8..1.5).contains(&ratio),
@@ -156,16 +170,19 @@ mod tests {
                 now + Dur::from_micros(1)
             }
         }
-        let cfg = ExecutorConfig { warp_slots: 16, compute_per_access: Dur::ZERO };
-        let a = Executor::new(cfg).run(Flat, trace(160).into_iter());
-        let b = PartitionedExecutor::new(cfg).run(Flat, trace(160).into_iter());
+        let cfg = ExecutorConfig {
+            warp_slots: 16,
+            compute_per_access: Dur::ZERO,
+        };
+        let a = Executor::new(cfg).run(Flat, trace(160));
+        let b = PartitionedExecutor::new(cfg).run(Flat, trace(160));
         assert_eq!(a.elapsed, b.elapsed);
     }
 
     #[test]
     fn empty_trace() {
-        let out = PartitionedExecutor::new(ExecutorConfig::default())
-            .run(Uneven, std::iter::empty());
+        let out =
+            PartitionedExecutor::new(ExecutorConfig::default()).run(Uneven, std::iter::empty());
         assert_eq!(out.accesses, 0);
         assert_eq!(out.elapsed, Dur::ZERO);
     }

@@ -100,7 +100,9 @@ impl SmExecutor {
         }
         let mut sms: Vec<Sm> = (0..self.config.sms)
             .map(|_| Sm {
-                warps: (0..self.config.warps_per_sm).map(|_| Reverse(Time::ZERO)).collect(),
+                warps: (0..self.config.warps_per_sm)
+                    .map(|_| Reverse(Time::ZERO))
+                    .collect(),
                 issue_port: FifoServer::new(),
             })
             .collect();
@@ -118,7 +120,11 @@ impl SmExecutor {
             accesses += 1;
         }
         let done = backend.finish(horizon);
-        RunOutcome { elapsed: done.since(Time::ZERO), accesses, backend }
+        RunOutcome {
+            elapsed: done.since(Time::ZERO),
+            accesses,
+            backend,
+        }
     }
 }
 
@@ -183,9 +189,11 @@ mod tests {
             ..SmConfig::default()
         })
         .run(Slow, trace(2_000));
-        let ratio =
-            with_port.elapsed.as_nanos() as f64 / no_port.elapsed.as_nanos() as f64;
-        assert!(ratio < 1.15, "issue ports inflated a memory-bound run by {ratio}");
+        let ratio = with_port.elapsed.as_nanos() as f64 / no_port.elapsed.as_nanos() as f64;
+        assert!(
+            ratio < 1.15,
+            "issue ports inflated a memory-bound run by {ratio}"
+        );
     }
 
     #[test]

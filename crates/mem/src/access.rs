@@ -106,17 +106,26 @@ pub struct WarpAccess {
 impl WarpAccess {
     /// A coalesced read of a single page.
     pub fn read(page: PageId) -> WarpAccess {
-        WarpAccess { pages: PageSet::One(page), write: false }
+        WarpAccess {
+            pages: PageSet::One(page),
+            write: false,
+        }
     }
 
     /// A coalesced write of a single page.
     pub fn write(page: PageId) -> WarpAccess {
-        WarpAccess { pages: PageSet::One(page), write: true }
+        WarpAccess {
+            pages: PageSet::One(page),
+            write: true,
+        }
     }
 
     /// A divergent access touching several pages.
     pub fn scattered(pages: Vec<PageId>, write: bool) -> WarpAccess {
-        WarpAccess { pages: PageSet::from(pages), write }
+        WarpAccess {
+            pages: PageSet::from(pages),
+            write,
+        }
     }
 }
 

@@ -91,7 +91,10 @@ impl ClockList {
     pub fn touch(&mut self, page: PageId) -> bool {
         match self.index.get(&page) {
             Some(&i) => {
-                self.slots[i].as_mut().expect("indexed slot is occupied").referenced = true;
+                self.slots[i]
+                    .as_mut()
+                    .expect("indexed slot is occupied")
+                    .referenced = true;
                 true
             }
             None => false,
@@ -106,7 +109,10 @@ impl ClockList {
     pub fn insert(&mut self, page: PageId) {
         assert!(!self.is_full(), "clock is full; use replace_candidate");
         assert!(!self.contains(page), "page {page} already resident");
-        let slot = Slot { page, referenced: true };
+        let slot = Slot {
+            page,
+            referenced: true,
+        };
         let i = match self.free.pop() {
             Some(i) => {
                 self.slots[i] = Some(slot);
@@ -157,7 +163,10 @@ impl ClockList {
     pub fn skip_candidate(&mut self) {
         let page = self.candidate().expect("skip_candidate on empty clock");
         let i = self.index[&page];
-        self.slots[i].as_mut().expect("indexed slot is occupied").referenced = true;
+        self.slots[i]
+            .as_mut()
+            .expect("indexed slot is occupied")
+            .referenced = true;
         self.hand = i + 1;
     }
 
@@ -171,7 +180,10 @@ impl ClockList {
         assert!(!self.contains(new), "page {new} already resident");
         let victim = self.candidate().expect("replace_candidate on empty clock");
         let i = self.index.remove(&victim).expect("candidate is indexed");
-        self.slots[i] = Some(Slot { page: new, referenced: true });
+        self.slots[i] = Some(Slot {
+            page: new,
+            referenced: true,
+        });
         self.index.insert(new, i);
         self.hand = i + 1;
         victim

@@ -81,8 +81,15 @@ impl FifoCache {
     ///
     /// Panics if `page` is already resident.
     pub fn insert_evicting(&mut self, page: PageId) -> Option<PageId> {
-        assert!(!self.contains(page), "page {page} already resident in tier-2");
-        let victim = if self.is_full() { Some(self.pop_oldest()) } else { None };
+        assert!(
+            !self.contains(page),
+            "page {page} already resident in tier-2"
+        );
+        let victim = if self.is_full() {
+            Some(self.pop_oldest())
+        } else {
+            None
+        };
         self.resident.insert(page);
         self.queue.push_back(page);
         victim
@@ -95,7 +102,10 @@ impl FifoCache {
     ///
     /// Panics if `page` is already resident.
     pub fn insert_if_room(&mut self, page: PageId) -> bool {
-        assert!(!self.contains(page), "page {page} already resident in tier-2");
+        assert!(
+            !self.contains(page),
+            "page {page} already resident in tier-2"
+        );
         if self.is_full() {
             return false;
         }
@@ -121,7 +131,10 @@ impl FifoCache {
 
     fn pop_oldest(&mut self) -> PageId {
         loop {
-            let head = self.queue.pop_front().expect("full cache has queue entries");
+            let head = self
+                .queue
+                .pop_front()
+                .expect("full cache has queue entries");
             if self.resident.remove(&head) {
                 return head;
             }

@@ -62,7 +62,10 @@ impl TierGeometry {
     /// Panics if `ratio` or `os` is not strictly positive, or if the
     /// shift would reduce Tier-1 below one page.
     pub fn scaled(scale_shift: u32, ratio: f64, os: f64) -> TierGeometry {
-        assert!(ratio > 0.0 && os > 0.0, "ratio and over-subscription must be positive");
+        assert!(
+            ratio > 0.0 && os > 0.0,
+            "ratio and over-subscription must be positive"
+        );
         let tier1_pages = PAPER_TIER1_PAGES >> scale_shift;
         assert!(tier1_pages > 0, "scale shift too large");
         TierGeometry::from_tier1(tier1_pages, ratio, os)
@@ -76,10 +79,18 @@ impl TierGeometry {
     /// Panics if any parameter is non-positive.
     pub fn from_tier1(tier1_pages: usize, ratio: f64, os: f64) -> TierGeometry {
         assert!(tier1_pages > 0, "tier-1 must hold at least one page");
-        assert!(ratio > 0.0 && os > 0.0, "ratio and over-subscription must be positive");
+        assert!(
+            ratio > 0.0 && os > 0.0,
+            "ratio and over-subscription must be positive"
+        );
         let tier2_pages = ((tier1_pages as f64) * ratio).round() as usize;
         let total_pages = (((tier1_pages + tier2_pages) as f64) * os).round() as usize;
-        TierGeometry { page_bytes: PAGE_BYTES, tier1_pages, tier2_pages, total_pages }
+        TierGeometry {
+            page_bytes: PAGE_BYTES,
+            tier1_pages,
+            tier2_pages,
+            total_pages,
+        }
     }
 
     /// Builds a geometry *backwards* from a fixed working-set size, the way
@@ -90,11 +101,22 @@ impl TierGeometry {
     ///
     /// Panics if the derived Tier-1 capacity would be zero.
     pub fn from_total(total_pages: usize, ratio: f64, os: f64) -> TierGeometry {
-        assert!(ratio > 0.0 && os > 0.0, "ratio and over-subscription must be positive");
+        assert!(
+            ratio > 0.0 && os > 0.0,
+            "ratio and over-subscription must be positive"
+        );
         let tier1_pages = (total_pages as f64 / (os * (1.0 + ratio))).round() as usize;
-        assert!(tier1_pages > 0, "working set too small for this ratio/over-subscription");
+        assert!(
+            tier1_pages > 0,
+            "working set too small for this ratio/over-subscription"
+        );
         let tier2_pages = ((tier1_pages as f64) * ratio).round() as usize;
-        TierGeometry { page_bytes: PAGE_BYTES, tier1_pages, tier2_pages, total_pages }
+        TierGeometry {
+            page_bytes: PAGE_BYTES,
+            tier1_pages,
+            tier2_pages,
+            total_pages,
+        }
     }
 
     /// The over-subscription factor: working set / (Tier-1 + Tier-2).

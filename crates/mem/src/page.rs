@@ -18,7 +18,9 @@ use serde::{Deserialize, Serialize};
 /// let p = PageId(42);
 /// assert_eq!(p.index(), 42);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PageId(pub u64);
 
 impl PageId {

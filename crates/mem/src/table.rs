@@ -29,7 +29,9 @@ pub struct PageTable<M> {
 impl<M: Default + Clone> PageTable<M> {
     /// Creates a table for `total_pages` pages, all with default metadata.
     pub fn new(total_pages: usize) -> PageTable<M> {
-        PageTable { entries: vec![M::default(); total_pages] }
+        PageTable {
+            entries: vec![M::default(); total_pages],
+        }
     }
 }
 
@@ -64,7 +66,10 @@ impl<M> PageTable<M> {
 
     /// Iterates over `(page, metadata)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (PageId, &M)> {
-        self.entries.iter().enumerate().map(|(i, m)| (PageId(i as u64), m))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (PageId(i as u64), m))
     }
 }
 

@@ -173,7 +173,11 @@ mod tests {
     fn truncation_detected() {
         let b = encode(&sample());
         for cut in [19, b.len() - 1] {
-            assert_eq!(decode(&b[..cut]), Err(DecodeTraceError::Truncated), "cut {cut}");
+            assert_eq!(
+                decode(&b[..cut]),
+                Err(DecodeTraceError::Truncated),
+                "cut {cut}"
+            );
         }
     }
 

@@ -1,5 +1,6 @@
 //! DMA vs zero-copy transfer engines and the Hybrid-XT selector.
 
+use gmt_sim::trace::{LinkDir, TraceEvent, TraceSink};
 use gmt_sim::{Dur, FifoServer, Link, Time};
 use serde::{Deserialize, Serialize};
 
@@ -25,12 +26,18 @@ pub enum TransferMethod {
 impl TransferMethod {
     /// The configuration GMT ships with: Hybrid-32T (paper §2.3).
     pub fn hybrid_32t() -> TransferMethod {
-        TransferMethod::Hybrid { min_pages: 8, min_threads: 32 }
+        TransferMethod::Hybrid {
+            min_pages: 8,
+            min_threads: 32,
+        }
     }
 
     /// Hybrid-XT with the paper's 8-page threshold and `x` threads.
     pub fn hybrid(x: u32) -> TransferMethod {
-        TransferMethod::Hybrid { min_pages: 8, min_threads: x }
+        TransferMethod::Hybrid {
+            min_pages: 8,
+            min_threads: x,
+        }
     }
 
     /// Whether this method picks zero-copy for a batch of `pages` pages
@@ -39,9 +46,10 @@ impl TransferMethod {
         match *self {
             TransferMethod::DmaAsync => false,
             TransferMethod::ZeroCopy => true,
-            TransferMethod::Hybrid { min_pages, min_threads } => {
-                pages >= min_pages && threads >= min_threads
-            }
+            TransferMethod::Hybrid {
+                min_pages,
+                min_threads,
+            } => pages >= min_pages && threads >= min_threads,
         }
     }
 }
@@ -143,6 +151,8 @@ pub struct HostLink {
     dma_engine: FifoServer,
     pin_server: FifoServer,
     stats: TransferStats,
+    trace: TraceSink,
+    trace_dir: LinkDir,
 }
 
 impl HostLink {
@@ -157,6 +167,8 @@ impl HostLink {
             dma_engine: FifoServer::new(),
             pin_server: FifoServer::new(),
             stats: TransferStats::default(),
+            trace: TraceSink::disabled(),
+            trace_dir: LinkDir::ToGpu,
             config,
         }
     }
@@ -164,6 +176,13 @@ impl HostLink {
     /// The link's configuration.
     pub fn config(&self) -> &HostLinkConfig {
         &self.config
+    }
+
+    /// Routes this link's batch transfers into `trace`, labelled with the
+    /// direction this instance serves.
+    pub fn attach_trace(&mut self, trace: &TraceSink, direction: LinkDir) {
+        self.trace = trace.clone();
+        self.trace_dir = direction;
     }
 
     /// Moves `batch` at time `now` using `method`; returns the completion
@@ -174,13 +193,25 @@ impl HostLink {
         }
         self.stats.pages += batch.pages as u64;
         self.stats.bytes += batch.bytes();
-        if method.picks_zero_copy(batch.pages, batch.threads) {
+        let zero_copy = method.picks_zero_copy(batch.pages, batch.threads);
+        let done = if zero_copy {
             self.stats.zero_copy_batches += 1;
             self.zero_copy(now, batch)
         } else {
             self.stats.dma_batches += 1;
             self.dma(now, batch)
-        }
+        };
+        self.trace.emit(
+            now,
+            TraceEvent::PcieBatch {
+                direction: self.trace_dir,
+                pages: batch.pages as u32,
+                bytes: batch.bytes(),
+                zero_copy,
+                latency_ns: done.since(now).as_nanos(),
+            },
+        );
+        done
     }
 
     /// Transfer counters so far.
@@ -226,8 +257,7 @@ impl HostLink {
     /// stream the pages at `threads x per-thread` bandwidth (capped by
     /// the link).
     fn zero_copy(&mut self, now: Time, batch: TransferBatch) -> Time {
-        let pin =
-            self.config.pin_overhead + self.config.pin_per_page * batch.pages as u64;
+        let pin = self.config.pin_overhead + self.config.pin_per_page * batch.pages as u64;
         let start = self.pin_server.submit(now, pin);
         let rate = (batch.threads.max(1) as f64) * self.config.per_thread_bytes_per_sec;
         self.link.transfer_at_rate(start, batch.bytes(), rate)
@@ -241,7 +271,11 @@ mod tests {
     const PAGE: u64 = 64 * 1024;
 
     fn batch(pages: usize, threads: u32) -> TransferBatch {
-        TransferBatch { pages, page_bytes: PAGE, threads }
+        TransferBatch {
+            pages,
+            page_bytes: PAGE,
+            threads,
+        }
     }
 
     fn elapsed_us(done: Time) -> f64 {

@@ -11,7 +11,10 @@ fn fresh() -> HostLink {
 const METHODS: [TransferMethod; 3] = [
     TransferMethod::DmaAsync,
     TransferMethod::ZeroCopy,
-    TransferMethod::Hybrid { min_pages: 8, min_threads: 32 },
+    TransferMethod::Hybrid {
+        min_pages: 8,
+        min_threads: 32,
+    },
 ];
 
 proptest! {

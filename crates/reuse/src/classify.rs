@@ -46,7 +46,10 @@ impl TierClassifier {
             tier2_pages >= tier1_pages,
             "Eq. 1 assumes tier-2 is at least as large as tier-1"
         );
-        TierClassifier { tier1_pages, tier2_pages }
+        TierClassifier {
+            tier1_pages,
+            tier2_pages,
+        }
     }
 
     /// Builds the classifier from a [`TierGeometry`].
@@ -99,7 +102,10 @@ mod tests {
     fn rvtd_projection_applies_fit() {
         let c = TierClassifier::new(10, 100);
         // Fit halves the RVTD: an RVTD of 18 is an RRD of 9 -> Tier-1.
-        let fit = LinearFit { slope: 0.5, intercept: 0.0 };
+        let fit = LinearFit {
+            slope: 0.5,
+            intercept: 0.0,
+        };
         assert_eq!(c.classify_rvtd(18, &fit), Tier::Gpu);
         assert_eq!(c.classify_rvtd(20, &fit), Tier::Host);
     }

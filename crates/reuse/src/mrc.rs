@@ -52,7 +52,11 @@ impl MissRatioCurve {
             }
         }
         sorted_rds.sort_unstable();
-        MissRatioCurve { sorted_rds, cold, total }
+        MissRatioCurve {
+            sorted_rds,
+            cold,
+            total,
+        }
     }
 
     /// Total accesses observed.
@@ -83,7 +87,10 @@ impl MissRatioCurve {
 
     /// `(capacity, miss_ratio)` points at the given capacities.
     pub fn sample(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
-        capacities.iter().map(|&c| (c, self.miss_ratio(c))).collect()
+        capacities
+            .iter()
+            .map(|&c| (c, self.miss_ratio(c)))
+            .collect()
     }
 
     /// The smallest capacity achieving at most `target` miss ratio, if

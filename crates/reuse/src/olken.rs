@@ -182,7 +182,10 @@ impl ReuseTracker {
                     vtd: Distance::Finite((pos - prev - 1) as u64),
                 }
             }
-            None => AccessDistances { rd: Distance::Cold, vtd: Distance::Cold },
+            None => AccessDistances {
+                rd: Distance::Cold,
+                vtd: Distance::Cold,
+            },
         };
         self.fenwick.add(pos, 1);
         self.last_pos.insert(page, pos);

@@ -21,7 +21,10 @@ impl LinearFit {
     /// The identity fit (`RD = VTD`) — the conservative default before any
     /// samples arrive, since VTD upper-bounds RD.
     pub fn identity() -> LinearFit {
-        LinearFit { slope: 1.0, intercept: 0.0 }
+        LinearFit {
+            slope: 1.0,
+            intercept: 0.0,
+        }
     }
 
     /// Evaluates the fit, clamping negative predictions to zero.
@@ -135,7 +138,11 @@ mod tests {
         }
         let f = ols.fit().unwrap();
         assert!((f.slope - 0.4).abs() < 0.01, "slope {}", f.slope);
-        assert!((f.intercept - 1000.0).abs() < 100.0, "intercept {}", f.intercept);
+        assert!(
+            (f.intercept - 1000.0).abs() < 100.0,
+            "intercept {}",
+            f.intercept
+        );
     }
 
     #[test]
@@ -155,7 +162,11 @@ mod tests {
         let mut all = Ols::new();
         for i in 0..100u64 {
             let (x, y) = (i as f64, (7 * i + 2) as f64);
-            if i % 2 == 0 { a.add(x, y) } else { b.add(x, y) }
+            if i % 2 == 0 {
+                a.add(x, y)
+            } else {
+                b.add(x, y)
+            }
             all.add(x, y);
         }
         a.merge(&b);
@@ -165,7 +176,10 @@ mod tests {
 
     #[test]
     fn predict_clamps_negative() {
-        let f = LinearFit { slope: 1.0, intercept: -100.0 };
+        let f = LinearFit {
+            slope: 1.0,
+            intercept: -100.0,
+        };
         assert_eq!(f.predict(10.0), 0.0);
     }
 

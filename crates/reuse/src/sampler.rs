@@ -43,7 +43,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> SamplerConfig {
-        SamplerConfig { sample_budget: 200_000, batch_size: 10_000, pipelined: true }
+        SamplerConfig {
+            sample_budget: 200_000,
+            batch_size: 10_000,
+            pipelined: true,
+        }
     }
 }
 
@@ -273,7 +277,11 @@ mod tests {
         // For a cyclic scan over N pages, every reuse has RD = N-1 and
         // VTD = N-1: slope 1 through that single point cluster is
         // degenerate, so mix two loop lengths.
-        let mut s = SamplingRegression::new(SamplerConfig { sample_budget: 10_000, batch_size: 50, pipelined: true });
+        let mut s = SamplingRegression::new(SamplerConfig {
+            sample_budget: 10_000,
+            batch_size: 50,
+            pipelined: true,
+        });
         for _ in 0..20 {
             for p in cyclic_trace(10, 1) {
                 s.observe(p);
@@ -289,7 +297,11 @@ mod tests {
 
     #[test]
     fn identity_before_first_batch() {
-        let mut s = SamplingRegression::new(SamplerConfig { sample_budget: 100, batch_size: 50, pipelined: true });
+        let mut s = SamplingRegression::new(SamplerConfig {
+            sample_budget: 100,
+            batch_size: 50,
+            pipelined: true,
+        });
         for p in cyclic_trace(5, 2).take(8) {
             s.observe(p);
         }
@@ -298,8 +310,11 @@ mod tests {
 
     #[test]
     fn non_pipelined_withholds_intermediate_fits() {
-        let config =
-            SamplerConfig { sample_budget: 100, batch_size: 10, pipelined: false };
+        let config = SamplerConfig {
+            sample_budget: 100,
+            batch_size: 10,
+            pipelined: false,
+        };
         let mut s = SamplingRegression::new(config);
         let mut fed = 0;
         for round in 0..40 {
@@ -321,7 +336,11 @@ mod tests {
 
     #[test]
     fn budget_stops_collection() {
-        let mut s = SamplingRegression::new(SamplerConfig { sample_budget: 10, batch_size: 2, pipelined: true });
+        let mut s = SamplingRegression::new(SamplerConfig {
+            sample_budget: 10,
+            batch_size: 2,
+            pipelined: true,
+        });
         for p in cyclic_trace(4, 100) {
             s.observe(p);
         }
@@ -331,7 +350,11 @@ mod tests {
 
     #[test]
     fn pipelined_matches_synchronous_final_fit() {
-        let config = SamplerConfig { sample_budget: 5_000, batch_size: 100, pipelined: true };
+        let config = SamplerConfig {
+            sample_budget: 5_000,
+            batch_size: 100,
+            pipelined: true,
+        };
         let mut sync = SamplingRegression::new(config);
         let mut piped = PipelinedRegression::spawn(config);
         for _ in 0..30 {
@@ -348,8 +371,11 @@ mod tests {
 
     #[test]
     fn pipelined_publishes_intermediate_fits() {
-        let mut piped =
-            PipelinedRegression::spawn(SamplerConfig { sample_budget: 100_000, batch_size: 10, pipelined: true });
+        let mut piped = PipelinedRegression::spawn(SamplerConfig {
+            sample_budget: 100_000,
+            batch_size: 10,
+            pipelined: true,
+        });
         for _ in 0..200 {
             for p in cyclic_trace(5, 1).chain(cyclic_trace(17, 1)) {
                 piped.observe(p);
@@ -370,8 +396,11 @@ mod tests {
 
     #[test]
     fn drop_without_finish_is_clean() {
-        let mut piped =
-            PipelinedRegression::spawn(SamplerConfig { sample_budget: 1_000, batch_size: 10, pipelined: true });
+        let mut piped = PipelinedRegression::spawn(SamplerConfig {
+            sample_budget: 1_000,
+            batch_size: 10,
+            pipelined: true,
+        });
         for p in cyclic_trace(5, 3) {
             piped.observe(p);
         }

@@ -110,9 +110,18 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is before the calendar's current time (events may
     /// not be scheduled in the past).
     pub fn schedule(&mut self, at: Time, event: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         let id = EventId(self.next_seq);
-        self.heap.push(Reverse(Scheduled { at, seq: self.next_seq, id, event }));
+        self.heap.push(Reverse(Scheduled {
+            at,
+            seq: self.next_seq,
+            id,
+            event,
+        }));
         self.pending.insert(id);
         self.next_seq += 1;
         id

@@ -37,6 +37,7 @@ mod zipf;
 pub mod events;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use server::{FifoServer, Link, ServerPool};
 pub use time::{Dur, Time};

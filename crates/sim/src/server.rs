@@ -105,7 +105,11 @@ impl ServerPool {
         for _ in 0..servers {
             free_at.push(Reverse(Time::ZERO));
         }
-        ServerPool { free_at, busy: Dur::ZERO, served: 0 }
+        ServerPool {
+            free_at,
+            busy: Dur::ZERO,
+            served: 0,
+        }
     }
 
     /// Number of servers in the pool.
@@ -127,7 +131,10 @@ impl ServerPool {
 
     /// The earliest time a newly-submitted request would begin service.
     pub fn next_free(&self) -> Time {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(Time::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(Time::ZERO)
     }
 
     /// Total service time accumulated across all servers.
@@ -173,7 +180,12 @@ impl Link {
     /// Panics if `bytes_per_sec` is not strictly positive.
     pub fn new(bytes_per_sec: f64, latency: Dur) -> Link {
         assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
-        Link { server: FifoServer::new(), bytes_per_sec, latency, bytes_moved: 0 }
+        Link {
+            server: FifoServer::new(),
+            bytes_per_sec,
+            latency,
+            bytes_moved: 0,
+        }
     }
 
     /// Submits a transfer of `bytes` at `now`; returns its completion time.

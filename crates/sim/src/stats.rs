@@ -74,12 +74,22 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Histogram {
-        Histogram { buckets: Vec::new(), count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 
     /// Records one value.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let bucket = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
         }
@@ -189,7 +199,12 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary.
     pub fn new() -> Summary {
-        Summary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.

@@ -19,7 +19,9 @@ use serde::{Deserialize, Serialize};
 /// let t = Time::ZERO + Dur::from_micros(130);
 /// assert_eq!(t.as_nanos(), 130_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Time(u64);
 
 /// A span of simulated time, in nanoseconds.
@@ -32,7 +34,9 @@ pub struct Time(u64);
 /// let d = Dur::from_micros(50);
 /// assert_eq!(d * 2, Dur::from_micros(100));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Dur(u64);
 
 impl Time {
@@ -108,7 +112,10 @@ impl Dur {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Dur {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Dur((secs * 1e9).round() as u64)
     }
 
@@ -271,7 +278,10 @@ mod tests {
     #[test]
     fn saturating_behaviour() {
         assert_eq!(Time::MAX + Dur::from_nanos(1), Time::MAX);
-        assert_eq!(Dur::from_nanos(5).saturating_sub(Dur::from_nanos(9)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_nanos(5).saturating_sub(Dur::from_nanos(9)),
+            Dur::ZERO
+        );
     }
 
     #[test]

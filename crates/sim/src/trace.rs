@@ -1,0 +1,990 @@
+//! Structured decision-trace observability.
+//!
+//! Every tiering decision the runtimes make — Tier-1 hits and misses,
+//! evictions with their predicted and actual destination, Tier-2
+//! placements and wasteful lookups, SSD submissions with instantaneous
+//! queue depth, PCIe batch transfers — can be recorded as a typed
+//! [`TraceEvent`] stamped with the virtual clock ([`Time`]) and the
+//! runtime's global virtual-timestamp counter (`vt`).
+//!
+//! The collector is a [`TraceSink`]: a cheaply cloneable handle to a
+//! bounded ring buffer. A disabled sink (the default) stores nothing and
+//! makes [`TraceSink::emit`] a single branch on `None`, so instrumented
+//! hot paths cost nothing when tracing is off. All components of one
+//! runtime share clones of the same sink, which keeps the record stream
+//! globally ordered exactly as decisions were made.
+//!
+//! Records export to line-oriented JSON ([`to_jsonl`]) and CSV
+//! ([`to_csv`]). Both writers are hand-rolled over integers and fixed
+//! strings only, so identical configurations and seeds produce
+//! byte-identical files — the property the golden-trace regression tests
+//! rely on.
+//!
+//! # Examples
+//!
+//! ```
+//! use gmt_sim::trace::{TraceEvent, TraceSink, TierTag};
+//! use gmt_sim::Time;
+//!
+//! let sink = TraceSink::bounded(16);
+//! sink.set_vt(1);
+//! sink.emit(Time::from_nanos(130), TraceEvent::Tier1Hit { page: 7 });
+//! sink.emit(
+//!     Time::from_nanos(260),
+//!     TraceEvent::Tier1Miss { page: 9, resident: TierTag::Ssd },
+//! );
+//! let jsonl = gmt_sim::trace::to_jsonl(&sink.snapshot());
+//! assert!(jsonl.starts_with(r#"{"t":130,"vt":1,"ev":"t1_hit","page":7}"#));
+//! ```
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::Time;
+
+/// The tier a page lives in (or moves to), as named by the paper:
+/// Tier-1 is GPU memory, Tier-2 host memory, Tier-3 the SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierTag {
+    /// Tier-1: GPU HBM.
+    Gpu,
+    /// Tier-2: host DRAM.
+    Host,
+    /// Tier-3: NVMe SSD.
+    Ssd,
+}
+
+impl TierTag {
+    /// Short stable label used by the exporters (`t1`/`t2`/`t3`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TierTag::Gpu => "t1",
+            TierTag::Host => "t2",
+            TierTag::Ssd => "t3",
+        }
+    }
+}
+
+impl fmt::Display for TierTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Direction of a PCIe batch relative to the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDir {
+    /// GPU → host (evictions, write-backs).
+    ToHost,
+    /// Host → GPU (fills).
+    ToGpu,
+}
+
+impl LinkDir {
+    /// Stable label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkDir::ToHost => "to_host",
+            LinkDir::ToGpu => "to_gpu",
+        }
+    }
+}
+
+/// One traced decision or hardware interaction.
+///
+/// Pages are raw `u64` frame numbers (the numeric value of the owning
+/// crate's `PageId`): this crate sits below the memory model in the
+/// dependency graph, so it cannot name that type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// The accessed page was already resident in Tier-1.
+    Tier1Hit {
+        /// Accessed page.
+        page: u64,
+    },
+    /// The accessed page missed Tier-1; `resident` is where the lookup
+    /// ultimately found it.
+    Tier1Miss {
+        /// Accessed page.
+        page: u64,
+        /// Tier the page was fetched from (`Host` or `Ssd`).
+        resident: TierTag,
+    },
+    /// A page was installed into Tier-1.
+    Tier1Fill {
+        /// Filled page.
+        page: u64,
+        /// Tier the data came from.
+        source: TierTag,
+        /// Virtual instant the fill's data transfer completes, in ns.
+        ready_ns: u64,
+    },
+    /// A Tier-1 victim was selected for eviction. `target` is the
+    /// placement the policy *intended*; the outcome is recorded
+    /// separately ([`TraceEvent::Tier2Place`], [`TraceEvent::EvictDiscard`],
+    /// [`TraceEvent::SsdWriteBack`]) because a full Tier-2 can overrule
+    /// the intent.
+    Eviction {
+        /// Evicted page.
+        page: u64,
+        /// The reuse predictor's forecast tier, when a predictor ran.
+        predicted: Option<TierTag>,
+        /// Tier the policy chose to send the victim to.
+        target: TierTag,
+        /// Whether the victim held dirty data.
+        dirty: bool,
+    },
+    /// An evicted page actually entered Tier-2.
+    Tier2Place {
+        /// Placed page.
+        page: u64,
+        /// Whether the page carried dirty data into Tier-2.
+        dirty: bool,
+    },
+    /// Tier-2 spilled a resident page to make room (FIFO/clock/random
+    /// insertion modes).
+    Tier2Spill {
+        /// Spilled page.
+        page: u64,
+        /// Whether the spilled page had to be written to the SSD.
+        dirty: bool,
+    },
+    /// A clean Tier-1 victim was dropped without any data movement.
+    EvictDiscard {
+        /// Discarded page.
+        page: u64,
+    },
+    /// A dirty Tier-1 victim was written straight back to the SSD.
+    SsdWriteBack {
+        /// Written-back page.
+        page: u64,
+    },
+    /// A Tier-1 miss was served from Tier-2.
+    Tier2Hit {
+        /// Hit page.
+        page: u64,
+    },
+    /// A Tier-1 miss probed Tier-2 and found nothing (paper §2.1's
+    /// "wasteful lookup").
+    WastefulLookup {
+        /// Probed page.
+        page: u64,
+    },
+    /// A past tier prediction was graded on the page's next touch.
+    PredictionGraded {
+        /// Re-touched page.
+        page: u64,
+        /// Tier the predictor had forecast.
+        predicted: TierTag,
+        /// Tier that would have been optimal in hindsight.
+        actual: TierTag,
+        /// Whether the forecast matched.
+        correct: bool,
+    },
+    /// A page fetch was issued by the sequential prefetcher, not demand.
+    Prefetch {
+        /// Prefetched page.
+        page: u64,
+    },
+    /// A command entered an SSD device.
+    SsdSubmit {
+        /// Index of the device within its array.
+        device: u32,
+        /// `true` for writes, `false` for reads.
+        write: bool,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Commands in flight on this device *including* this one.
+        queue_depth: u32,
+    },
+    /// A previously submitted SSD command finished.
+    SsdComplete {
+        /// Index of the device within its array.
+        device: u32,
+        /// `true` for writes, `false` for reads.
+        write: bool,
+        /// Commands still in flight on this device after this completion.
+        queue_depth: u32,
+    },
+    /// A command was pushed onto an NVMe submission ring.
+    RingSubmit {
+        /// Command identifier assigned by the ring.
+        cid: u16,
+        /// `true` for writes, `false` for reads.
+        write: bool,
+        /// Ring occupancy *including* this command.
+        queue_depth: u32,
+    },
+    /// A completion was reaped from an NVMe completion ring.
+    RingComplete {
+        /// Command identifier being completed.
+        cid: u16,
+        /// Ring occupancy after reaping this completion.
+        queue_depth: u32,
+    },
+    /// A batch of pages crossed the PCIe link.
+    PcieBatch {
+        /// Transfer direction.
+        direction: LinkDir,
+        /// Number of 4 KiB pages in the batch.
+        pages: u32,
+        /// Total payload bytes.
+        bytes: u64,
+        /// `true` when moved by zero-copy mapped stores rather than DMA.
+        zero_copy: bool,
+        /// End-to-end batch latency in ns.
+        latency_ns: u64,
+    },
+    /// A warp-level access entered the runtime.
+    WarpAccess {
+        /// First page of the access.
+        page: u64,
+        /// `true` for stores.
+        write: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The exporters' stable event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Tier1Hit { .. } => "t1_hit",
+            TraceEvent::Tier1Miss { .. } => "t1_miss",
+            TraceEvent::Tier1Fill { .. } => "t1_fill",
+            TraceEvent::Eviction { .. } => "evict",
+            TraceEvent::Tier2Place { .. } => "t2_place",
+            TraceEvent::Tier2Spill { .. } => "t2_spill",
+            TraceEvent::EvictDiscard { .. } => "evict_discard",
+            TraceEvent::SsdWriteBack { .. } => "ssd_writeback",
+            TraceEvent::Tier2Hit { .. } => "t2_hit",
+            TraceEvent::WastefulLookup { .. } => "wasteful_lookup",
+            TraceEvent::PredictionGraded { .. } => "prediction",
+            TraceEvent::Prefetch { .. } => "prefetch",
+            TraceEvent::SsdSubmit { .. } => "ssd_submit",
+            TraceEvent::SsdComplete { .. } => "ssd_complete",
+            TraceEvent::RingSubmit { .. } => "ring_submit",
+            TraceEvent::RingComplete { .. } => "ring_complete",
+            TraceEvent::PcieBatch { .. } => "pcie_batch",
+            TraceEvent::WarpAccess { .. } => "warp_access",
+        }
+    }
+}
+
+/// One trace record: an event plus its two timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual instant the event was recorded.
+    pub at: Time,
+    /// The runtime's global virtual-timestamp counter (one tick per
+    /// coalesced memory transaction) at recording time.
+    pub vt: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Renders the record as one line of JSON (no trailing newline).
+    ///
+    /// Field order is fixed and all values are integers, booleans or
+    /// fixed strings, so the output is byte-stable across runs and
+    /// platforms.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"t\":");
+        s.push_str(&self.at.as_nanos().to_string());
+        s.push_str(",\"vt\":");
+        s.push_str(&self.vt.to_string());
+        s.push_str(",\"ev\":\"");
+        s.push_str(self.event.name());
+        s.push('"');
+        let mut field = |name: &str, value: &str| {
+            s.push_str(",\"");
+            s.push_str(name);
+            s.push_str("\":");
+            s.push_str(value);
+        };
+        fn quoted(v: &str) -> String {
+            format!("\"{v}\"")
+        }
+        match &self.event {
+            TraceEvent::Tier1Hit { page }
+            | TraceEvent::EvictDiscard { page }
+            | TraceEvent::SsdWriteBack { page }
+            | TraceEvent::Tier2Hit { page }
+            | TraceEvent::WastefulLookup { page }
+            | TraceEvent::Prefetch { page } => field("page", &page.to_string()),
+            TraceEvent::Tier1Miss { page, resident } => {
+                field("page", &page.to_string());
+                field("resident", &quoted(resident.label()));
+            }
+            TraceEvent::Tier1Fill {
+                page,
+                source,
+                ready_ns,
+            } => {
+                field("page", &page.to_string());
+                field("source", &quoted(source.label()));
+                field("ready", &ready_ns.to_string());
+            }
+            TraceEvent::Eviction {
+                page,
+                predicted,
+                target,
+                dirty,
+            } => {
+                field("page", &page.to_string());
+                match predicted {
+                    Some(p) => field("predicted", &quoted(p.label())),
+                    None => field("predicted", "null"),
+                }
+                field("target", &quoted(target.label()));
+                field("dirty", &dirty.to_string());
+            }
+            TraceEvent::Tier2Place { page, dirty } | TraceEvent::Tier2Spill { page, dirty } => {
+                field("page", &page.to_string());
+                field("dirty", &dirty.to_string());
+            }
+            TraceEvent::PredictionGraded {
+                page,
+                predicted,
+                actual,
+                correct,
+            } => {
+                field("page", &page.to_string());
+                field("predicted", &quoted(predicted.label()));
+                field("actual", &quoted(actual.label()));
+                field("correct", &correct.to_string());
+            }
+            TraceEvent::SsdSubmit {
+                device,
+                write,
+                bytes,
+                queue_depth,
+            } => {
+                field("device", &device.to_string());
+                field("write", &write.to_string());
+                field("bytes", &bytes.to_string());
+                field("depth", &queue_depth.to_string());
+            }
+            TraceEvent::SsdComplete {
+                device,
+                write,
+                queue_depth,
+            } => {
+                field("device", &device.to_string());
+                field("write", &write.to_string());
+                field("depth", &queue_depth.to_string());
+            }
+            TraceEvent::RingSubmit {
+                cid,
+                write,
+                queue_depth,
+            } => {
+                field("cid", &cid.to_string());
+                field("write", &write.to_string());
+                field("depth", &queue_depth.to_string());
+            }
+            TraceEvent::RingComplete { cid, queue_depth } => {
+                field("cid", &cid.to_string());
+                field("depth", &queue_depth.to_string());
+            }
+            TraceEvent::PcieBatch {
+                direction,
+                pages,
+                bytes,
+                zero_copy,
+                latency_ns,
+            } => {
+                field("dir", &quoted(direction.label()));
+                field("pages", &pages.to_string());
+                field("bytes", &bytes.to_string());
+                field("zero_copy", &zero_copy.to_string());
+                field("latency", &latency_ns.to_string());
+            }
+            TraceEvent::WarpAccess { page, write } => {
+                field("page", &page.to_string());
+                field("write", &write.to_string());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders records as line-delimited JSON, one record per line.
+///
+/// The output ends with a newline when `records` is non-empty, and is
+/// byte-identical for identical record sequences.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV column header matching [`to_csv`]'s rows.
+///
+/// `id` is the event's primary identifier (page, device index or ring
+/// command id); `tier`/`tier2` carry the event's tier labels (target and
+/// predicted, respectively, for evictions; actual and predicted for
+/// prediction grades); `flag` is the event's boolean (dirty, write,
+/// zero-copy or correct); `depth`, `bytes` and `latency_ns` are filled
+/// where the event defines them.
+pub const CSV_HEADER: &str = "t_ns,vt,event,id,tier,tier2,flag,depth,bytes,latency_ns";
+
+/// Renders records as CSV with the [`CSV_HEADER`] columns.
+///
+/// Absent fields are left empty. Like [`to_jsonl`], the output is
+/// byte-stable for identical record sequences.
+pub fn to_csv(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(64 + records.len() * 48);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let id: String;
+        let mut tier = "";
+        let mut tier2 = "";
+        let mut flag = String::new();
+        let mut depth = String::new();
+        let mut bytes = String::new();
+        let mut latency = String::new();
+        match &r.event {
+            TraceEvent::Tier1Hit { page }
+            | TraceEvent::EvictDiscard { page }
+            | TraceEvent::SsdWriteBack { page }
+            | TraceEvent::Tier2Hit { page }
+            | TraceEvent::WastefulLookup { page }
+            | TraceEvent::Prefetch { page } => id = page.to_string(),
+            TraceEvent::Tier1Miss { page, resident } => {
+                id = page.to_string();
+                tier = resident.label();
+            }
+            TraceEvent::Tier1Fill {
+                page,
+                source,
+                ready_ns,
+            } => {
+                id = page.to_string();
+                tier = source.label();
+                latency = ready_ns.to_string();
+            }
+            TraceEvent::Eviction {
+                page,
+                predicted,
+                target,
+                dirty,
+            } => {
+                id = page.to_string();
+                tier = target.label();
+                tier2 = predicted.map_or("", TierTag::label);
+                flag = dirty.to_string();
+            }
+            TraceEvent::Tier2Place { page, dirty } | TraceEvent::Tier2Spill { page, dirty } => {
+                id = page.to_string();
+                flag = dirty.to_string();
+            }
+            TraceEvent::PredictionGraded {
+                page,
+                predicted,
+                actual,
+                correct,
+            } => {
+                id = page.to_string();
+                tier = actual.label();
+                tier2 = predicted.label();
+                flag = correct.to_string();
+            }
+            TraceEvent::SsdSubmit {
+                device,
+                write,
+                bytes: b,
+                queue_depth,
+            } => {
+                id = device.to_string();
+                flag = write.to_string();
+                depth = queue_depth.to_string();
+                bytes = b.to_string();
+            }
+            TraceEvent::SsdComplete {
+                device,
+                write,
+                queue_depth,
+            } => {
+                id = device.to_string();
+                flag = write.to_string();
+                depth = queue_depth.to_string();
+            }
+            TraceEvent::RingSubmit {
+                cid,
+                write,
+                queue_depth,
+            } => {
+                id = cid.to_string();
+                flag = write.to_string();
+                depth = queue_depth.to_string();
+            }
+            TraceEvent::RingComplete { cid, queue_depth } => {
+                id = cid.to_string();
+                depth = queue_depth.to_string();
+            }
+            TraceEvent::PcieBatch {
+                direction,
+                pages,
+                bytes: b,
+                zero_copy,
+                latency_ns,
+            } => {
+                tier = direction.label();
+                id = pages.to_string();
+                flag = zero_copy.to_string();
+                bytes = b.to_string();
+                latency = latency_ns.to_string();
+            }
+            TraceEvent::WarpAccess { page, write } => {
+                id = page.to_string();
+                flag = write.to_string();
+            }
+        }
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.at.as_nanos(),
+            r.vt,
+            r.event.name(),
+            id,
+            tier,
+            tier2,
+            flag,
+            depth,
+            bytes,
+            latency,
+        ));
+    }
+    out
+}
+
+struct Ring {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+    vt: u64,
+    last_at: Time,
+}
+
+/// A cheaply cloneable handle to a bounded trace ring buffer.
+///
+/// The default sink is *disabled*: it holds no buffer, every [`emit`]
+/// returns after one branch, and cloning it is free. An enabled sink
+/// ([`TraceSink::bounded`]) shares one ring between all of its clones,
+/// so every component of a runtime appends to the same globally ordered
+/// stream. When the ring is full the *oldest* record is dropped and
+/// counted in [`dropped`].
+///
+/// [`emit`]: TraceSink::emit
+/// [`dropped`]: TraceSink::dropped
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Rc<RefCell<Ring>>>,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("TraceSink(disabled)"),
+            Some(ring) => {
+                let ring = ring.borrow();
+                write!(
+                    f,
+                    "TraceSink(len={}, cap={}, dropped={})",
+                    ring.records.len(),
+                    ring.capacity,
+                    ring.dropped
+                )
+            }
+        }
+    }
+}
+
+impl TraceSink {
+    /// A sink that records nothing (the default).
+    pub fn disabled() -> TraceSink {
+        TraceSink { inner: None }
+    }
+
+    /// A sink retaining the most recent `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> TraceSink {
+        assert!(capacity > 0, "trace ring capacity must be non-zero");
+        TraceSink {
+            inner: Some(Rc::new(RefCell::new(Ring {
+                records: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+                vt: 0,
+                last_at: Time::ZERO,
+            }))),
+        }
+    }
+
+    /// Whether this sink records events.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Updates the virtual-timestamp counter stamped onto subsequent
+    /// records. The owning runtime calls this once per coalesced memory
+    /// transaction.
+    pub fn set_vt(&self, vt: u64) {
+        if let Some(ring) = &self.inner {
+            ring.borrow_mut().vt = vt;
+        }
+    }
+
+    /// The most recently set virtual timestamp (0 when disabled).
+    pub fn vt(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.borrow().vt)
+    }
+
+    /// Records `event` at instant `at`, dropping the oldest record if
+    /// the ring is full. No-op on a disabled sink.
+    ///
+    /// The stream is a *linearization*: components model parallel
+    /// hardware, so a causally-later event can carry an earlier submit
+    /// instant (e.g. an SSD fetch issued while a PCIe batch is already in
+    /// flight). The sink clamps each record's clock to be monotone, which
+    /// keeps the exported trace time-ordered while preserving decision
+    /// order exactly.
+    pub fn emit(&self, at: Time, event: TraceEvent) {
+        let Some(ring) = &self.inner else { return };
+        let mut ring = ring.borrow_mut();
+        if ring.records.len() == ring.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        let at = at.max(ring.last_at);
+        ring.last_at = at;
+        let vt = ring.vt;
+        ring.records.push_back(TraceRecord { at, vt, event });
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |r| r.borrow().records.len())
+    }
+
+    /// Whether the buffer holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of records lost to ring overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |r| r.borrow().dropped)
+    }
+
+    /// Removes and returns all buffered records, oldest first.
+    pub fn drain(&self) -> Vec<TraceRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.borrow_mut().records.drain(..).collect())
+    }
+
+    /// Returns a copy of the buffered records without clearing them.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.borrow().records.iter().cloned().collect())
+    }
+}
+
+/// Checks the orderings every well-formed trace must satisfy: the
+/// virtual-timestamp counter never decreases and neither does the clock.
+///
+/// Returns the index and reason of the first violation.
+pub fn validate(records: &[TraceRecord]) -> Result<(), String> {
+    for (i, pair) in records.windows(2).enumerate() {
+        if pair[1].vt < pair[0].vt {
+            return Err(format!(
+                "record {}: vt went backwards ({} -> {})",
+                i + 1,
+                pair[0].vt,
+                pair[1].vt
+            ));
+        }
+        if pair[1].at < pair[0].at {
+            return Err(format!(
+                "record {}: clock went backwards ({} -> {})",
+                i + 1,
+                pair[0].at.as_nanos(),
+                pair[1].at.as_nanos()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: u64, vt: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: Time::from_nanos(t),
+            vt,
+            event,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.set_vt(9);
+        sink.emit(Time::ZERO, TraceEvent::Tier1Hit { page: 1 });
+        assert!(sink.is_empty());
+        assert!(sink.drain().is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let sink = TraceSink::bounded(8);
+        let clone = sink.clone();
+        sink.set_vt(3);
+        clone.emit(Time::from_nanos(5), TraceEvent::Tier1Hit { page: 2 });
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.snapshot()[0].vt, 3);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let sink = TraceSink::bounded(2);
+        for page in 0..5u64 {
+            sink.emit(Time::from_nanos(page), TraceEvent::Tier1Hit { page });
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        let pages: Vec<u64> = sink
+            .drain()
+            .into_iter()
+            .map(|r| match r.event {
+                TraceEvent::Tier1Hit { page } => page,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pages, vec![3, 4]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_one_line_per_record() {
+        let records = vec![
+            rec(130, 1, TraceEvent::Tier1Hit { page: 7 }),
+            rec(
+                260,
+                2,
+                TraceEvent::Eviction {
+                    page: 9,
+                    predicted: Some(TierTag::Host),
+                    target: TierTag::Ssd,
+                    dirty: true,
+                },
+            ),
+            rec(
+                300,
+                2,
+                TraceEvent::PcieBatch {
+                    direction: LinkDir::ToGpu,
+                    pages: 4,
+                    bytes: 16384,
+                    zero_copy: false,
+                    latency_ns: 2100,
+                },
+            ),
+        ];
+        let a = to_jsonl(&records);
+        let b = to_jsonl(&records);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 3);
+        assert_eq!(
+            a.lines().next().unwrap(),
+            r#"{"t":130,"vt":1,"ev":"t1_hit","page":7}"#
+        );
+        assert_eq!(
+            a.lines().nth(1).unwrap(),
+            r#"{"t":260,"vt":2,"ev":"evict","page":9,"predicted":"t2","target":"t3","dirty":true}"#
+        );
+        assert_eq!(
+            a.lines().nth(2).unwrap(),
+            r#"{"t":300,"vt":2,"ev":"pcie_batch","dir":"to_gpu","pages":4,"bytes":16384,"zero_copy":false,"latency":2100}"#
+        );
+    }
+
+    #[test]
+    fn unpredicted_eviction_serialises_null() {
+        let line = rec(
+            1,
+            1,
+            TraceEvent::Eviction {
+                page: 3,
+                predicted: None,
+                target: TierTag::Host,
+                dirty: false,
+            },
+        )
+        .to_json_line();
+        assert!(line.contains(r#""predicted":null"#), "{line}");
+    }
+
+    #[test]
+    fn csv_has_header_and_fixed_columns() {
+        let records = vec![
+            rec(
+                10,
+                1,
+                TraceEvent::SsdSubmit {
+                    device: 0,
+                    write: false,
+                    bytes: 4096,
+                    queue_depth: 1,
+                },
+            ),
+            rec(
+                20,
+                1,
+                TraceEvent::Tier1Miss {
+                    page: 5,
+                    resident: TierTag::Ssd,
+                },
+            ),
+        ];
+        let csv = to_csv(&records);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), CSV_HEADER);
+        assert_eq!(lines.next().unwrap(), "10,1,ssd_submit,0,,,false,1,4096,");
+        assert_eq!(lines.next().unwrap(), "20,1,t1_miss,5,t3,,,,,");
+        for line in csv.lines() {
+            assert_eq!(line.matches(',').count(), CSV_HEADER.matches(',').count());
+        }
+    }
+
+    #[test]
+    fn validate_accepts_ordered_and_rejects_regressions() {
+        let good = vec![
+            rec(1, 1, TraceEvent::Tier1Hit { page: 0 }),
+            rec(1, 1, TraceEvent::Tier1Hit { page: 1 }),
+            rec(5, 2, TraceEvent::Tier1Hit { page: 2 }),
+        ];
+        assert!(validate(&good).is_ok());
+
+        let vt_back = vec![
+            rec(1, 2, TraceEvent::Tier1Hit { page: 0 }),
+            rec(2, 1, TraceEvent::Tier1Hit { page: 1 }),
+        ];
+        assert!(validate(&vt_back)
+            .unwrap_err()
+            .contains("vt went backwards"));
+
+        let clock_back = vec![
+            rec(9, 1, TraceEvent::Tier1Hit { page: 0 }),
+            rec(3, 1, TraceEvent::Tier1Hit { page: 1 }),
+        ];
+        assert!(validate(&clock_back)
+            .unwrap_err()
+            .contains("clock went backwards"));
+    }
+
+    #[test]
+    fn every_event_round_trips_through_both_exporters() {
+        let all = vec![
+            TraceEvent::Tier1Hit { page: 1 },
+            TraceEvent::Tier1Miss {
+                page: 2,
+                resident: TierTag::Host,
+            },
+            TraceEvent::Tier1Fill {
+                page: 3,
+                source: TierTag::Ssd,
+                ready_ns: 77,
+            },
+            TraceEvent::Eviction {
+                page: 4,
+                predicted: Some(TierTag::Gpu),
+                target: TierTag::Host,
+                dirty: false,
+            },
+            TraceEvent::Tier2Place {
+                page: 5,
+                dirty: true,
+            },
+            TraceEvent::Tier2Spill {
+                page: 6,
+                dirty: false,
+            },
+            TraceEvent::EvictDiscard { page: 7 },
+            TraceEvent::SsdWriteBack { page: 8 },
+            TraceEvent::Tier2Hit { page: 9 },
+            TraceEvent::WastefulLookup { page: 10 },
+            TraceEvent::PredictionGraded {
+                page: 11,
+                predicted: TierTag::Host,
+                actual: TierTag::Ssd,
+                correct: false,
+            },
+            TraceEvent::Prefetch { page: 12 },
+            TraceEvent::SsdSubmit {
+                device: 0,
+                write: true,
+                bytes: 4096,
+                queue_depth: 2,
+            },
+            TraceEvent::SsdComplete {
+                device: 0,
+                write: true,
+                queue_depth: 1,
+            },
+            TraceEvent::RingSubmit {
+                cid: 4,
+                write: false,
+                queue_depth: 3,
+            },
+            TraceEvent::RingComplete {
+                cid: 4,
+                queue_depth: 2,
+            },
+            TraceEvent::PcieBatch {
+                direction: LinkDir::ToHost,
+                pages: 32,
+                bytes: 131072,
+                zero_copy: true,
+                latency_ns: 999,
+            },
+            TraceEvent::WarpAccess {
+                page: 13,
+                write: true,
+            },
+        ];
+        let records: Vec<TraceRecord> = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, e)| rec(i as u64, i as u64, e))
+            .collect();
+        let jsonl = to_jsonl(&records);
+        assert_eq!(jsonl.lines().count(), records.len());
+        for (line, r) in jsonl.lines().zip(&records) {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(
+                line.contains(&format!("\"ev\":\"{}\"", r.event.name())),
+                "{line}"
+            );
+        }
+        let csv = to_csv(&records);
+        assert_eq!(csv.lines().count(), records.len() + 1);
+    }
+}

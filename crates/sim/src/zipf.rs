@@ -43,11 +43,20 @@ impl Zipf {
     /// Panics if `n == 0`, or if `s` is negative or not finite.
     pub fn new(n: u64, s: f64) -> Zipf {
         assert!(n > 0, "zipf support must be non-empty");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
         let h_integral_x1 = h_integral(1.5, s) - 1.0;
         let h_integral_n = h_integral(n as f64 + 0.5, s);
         let h_x1 = h(1.5, s) - 1.0;
-        Zipf { n, s, h_x1, h_integral_x1, h_integral_n }
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_integral_x1,
+            h_integral_n,
+        }
     }
 
     /// Number of ranks in the support.
@@ -131,7 +140,10 @@ mod tests {
         for _ in 0..draws {
             counts[zipf.sample(&mut rng) as usize] += 1;
         }
-        counts.into_iter().map(|c| c as f64 / draws as f64).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / draws as f64)
+            .collect()
     }
 
     #[test]
@@ -160,7 +172,10 @@ mod tests {
     fn higher_skew_concentrates_mass_on_rank_zero() {
         let low = freq(100, 0.2, 50_000)[0];
         let high = freq(100, 0.99, 50_000)[0];
-        assert!(high > low * 3.0, "rank-0 mass: low-skew {low}, high-skew {high}");
+        assert!(
+            high > low * 3.0,
+            "rank-0 mass: low-skew {low}, high-skew {high}"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl ArrayConfig {
     /// An array of `devices` default-calibrated SSDs striped at page
     /// granularity.
     pub fn new(devices: usize) -> ArrayConfig {
-        ArrayConfig { device: SsdConfig::default(), devices, stripe_bytes: 64 * 1024 }
+        ArrayConfig {
+            device: SsdConfig::default(),
+            devices,
+            stripe_bytes: 64 * 1024,
+        }
     }
 }
 
@@ -60,7 +64,9 @@ impl SsdArray {
         assert!(config.devices > 0, "array needs at least one device");
         assert!(config.stripe_bytes > 0, "stripe unit must be positive");
         SsdArray {
-            devices: (0..config.devices).map(|_| SsdDevice::new(config.device)).collect(),
+            devices: (0..config.devices)
+                .map(|_| SsdDevice::new(config.device))
+                .collect(),
             config,
         }
     }
@@ -68,6 +74,22 @@ impl SsdArray {
     /// Number of devices.
     pub fn devices(&self) -> usize {
         self.devices.len()
+    }
+
+    /// Routes every device's submissions and completions into `trace`,
+    /// numbering devices by their stripe position.
+    pub fn attach_trace(&mut self, trace: &gmt_sim::trace::TraceSink) {
+        for (i, d) in self.devices.iter_mut().enumerate() {
+            d.attach_trace(trace, i as u32);
+        }
+    }
+
+    /// Flushes pending completion events on every device (see
+    /// [`SsdDevice::flush_trace`]).
+    pub fn flush_trace(&mut self, now: Time) {
+        for d in &mut self.devices {
+            d.flush_trace(now);
+        }
     }
 
     /// Which device serves byte `offset`.

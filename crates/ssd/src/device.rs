@@ -1,5 +1,6 @@
 //! Flash timing model calibrated to the paper's platform.
 
+use gmt_sim::trace::{TraceEvent, TraceSink};
 use gmt_sim::{Dur, Link, ServerPool, Time};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,17 @@ pub struct SsdDevice {
     link: Link,
     stats: SsdStats,
     next_sq_head: u16,
+    trace: TraceSink,
+    trace_index: u32,
+    pending: Vec<PendingIo>,
+}
+
+/// An in-flight command tracked only while tracing, so queue depth can be
+/// reported on every submission.
+#[derive(Debug, Clone, Copy)]
+struct PendingIo {
+    done: Time,
+    write: bool,
 }
 
 impl SsdDevice {
@@ -116,6 +128,9 @@ impl SsdDevice {
             link: Link::new(config.link_bytes_per_sec, config.link_latency),
             stats: SsdStats::default(),
             next_sq_head: 0,
+            trace: TraceSink::disabled(),
+            trace_index: 0,
+            pending: Vec::new(),
             config,
         }
     }
@@ -123,6 +138,37 @@ impl SsdDevice {
     /// The device's configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// Routes this device's submissions and completions into `trace`,
+    /// identified as device `index`.
+    pub fn attach_trace(&mut self, trace: &TraceSink, index: u32) {
+        self.trace = trace.clone();
+        self.trace_index = index;
+    }
+
+    /// Emits [`TraceEvent::SsdComplete`] for every in-flight command whose
+    /// completion time is at or before `now`. Completions are reaped
+    /// lazily — on the next submission or an explicit flush — mirroring
+    /// how the runtimes poll NVMe completion queues.
+    pub fn flush_trace(&mut self, now: Time) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        self.pending.sort_unstable_by_key(|io| io.done);
+        let ready = self.pending.iter().take_while(|io| io.done <= now).count();
+        let reaped: Vec<PendingIo> = self.pending.drain(..ready).collect();
+        let remaining = self.pending.len();
+        for (i, io) in reaped.iter().enumerate() {
+            self.trace.emit(
+                now,
+                TraceEvent::SsdComplete {
+                    device: self.trace_index,
+                    write: io.write,
+                    queue_depth: (remaining + reaped.len() - 1 - i) as u32,
+                },
+            );
+        }
     }
 
     /// Submits `cmd` at time `now`; returns its completion time and entry.
@@ -146,8 +192,27 @@ impl SsdDevice {
             media_latency + Dur::for_bytes(media_bytes, self.config.channel_bytes_per_sec);
         let flash_done = self.flash.submit(submitted, service);
         let done = self.link.transfer(flash_done, bytes.max(16));
+        if self.trace.is_enabled() {
+            self.flush_trace(now);
+            let write = !matches!(cmd.opcode, Opcode::Read);
+            self.pending.push(PendingIo { done, write });
+            self.trace.emit(
+                now,
+                TraceEvent::SsdSubmit {
+                    device: self.trace_index,
+                    write,
+                    bytes,
+                    queue_depth: self.pending.len() as u32,
+                },
+            );
+        }
         self.next_sq_head = self.next_sq_head.wrapping_add(1);
-        let entry = CompletionEntry { cid: cmd.cid, status: 0, phase: true, sq_head: self.next_sq_head };
+        let entry = CompletionEntry {
+            cid: cmd.cid,
+            status: 0,
+            phase: true,
+            sq_head: self.next_sq_head,
+        };
         (done, entry)
     }
 
@@ -217,7 +282,10 @@ mod tests {
             done = done.max(ssd.read(Time::ZERO, i * PAGE, PAGE));
         }
         let gbps = (pages * PAGE) as f64 / done.as_secs_f64() / 1e9;
-        assert!((2.6..3.3).contains(&gbps), "saturated read bandwidth {gbps} GB/s");
+        assert!(
+            (2.6..3.3).contains(&gbps),
+            "saturated read bandwidth {gbps} GB/s"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub struct HostIoConfig {
 
 impl Default for HostIoConfig {
     fn default() -> HostIoConfig {
-        HostIoConfig { io_threads: 4, submit_cost: Dur::from_micros(4) }
+        HostIoConfig {
+            io_threads: 4,
+            submit_cost: Dur::from_micros(4),
+        }
     }
 }
 
@@ -55,7 +58,11 @@ impl HostIo {
     ///
     /// Panics if `config.io_threads` is zero.
     pub fn new(config: HostIoConfig) -> HostIo {
-        HostIo { threads: ServerPool::new(config.io_threads), commands: 0, config }
+        HostIo {
+            threads: ServerPool::new(config.io_threads),
+            commands: 0,
+            config,
+        }
     }
 
     /// The front-end's configuration.
@@ -103,7 +110,10 @@ mod tests {
 
     #[test]
     fn bounded_threads_throttle_bursts() {
-        let config = HostIoConfig { io_threads: 2, submit_cost: Dur::from_micros(10) };
+        let config = HostIoConfig {
+            io_threads: 2,
+            submit_cost: Dur::from_micros(10),
+        };
         let mut ssd = SsdArray::new(ArrayConfig::new(8));
         let mut host = HostIo::new(config);
         // 8 simultaneous writes through 2 threads: submissions serialize

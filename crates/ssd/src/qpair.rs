@@ -7,6 +7,7 @@
 //! that throttles thousands of simultaneously-faulting threads (the
 //! back-pressure BaM's design section highlights).
 
+use gmt_sim::trace::{TraceEvent, TraceSink};
 use gmt_sim::Time;
 
 use crate::queue::{Command, CompletionQueue, Opcode, QueueFull, SubmissionQueue};
@@ -42,6 +43,7 @@ pub struct QueuePair {
     cq: CompletionQueue,
     in_flight: Vec<InFlight>,
     next_cid: u16,
+    trace: TraceSink,
 }
 
 impl QueuePair {
@@ -57,7 +59,21 @@ impl QueuePair {
             cq: CompletionQueue::new(depth),
             in_flight: Vec::with_capacity(depth),
             next_cid: 0,
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Routes ring submissions/completions and the bound device's I/O
+    /// into `trace` (the device is identified as device 0).
+    pub fn attach_trace(&mut self, trace: &TraceSink) {
+        self.trace = trace.clone();
+        self.device.attach_trace(trace, 0);
+    }
+
+    /// Flushes pending device completion events into the trace (see
+    /// [`SsdDevice::flush_trace`]).
+    pub fn flush_trace(&mut self, now: Time) {
+        self.device.flush_trace(now);
     }
 
     /// Commands submitted but not yet reaped.
@@ -94,6 +110,14 @@ impl QueuePair {
         debug_assert_eq!(fetched.cid, cid);
         let (done_at, _entry) = self.device.submit(now, fetched);
         self.in_flight.push(InFlight { done_at, cid });
+        self.trace.emit(
+            now,
+            TraceEvent::RingSubmit {
+                cid,
+                write: !matches!(opcode, Opcode::Read),
+                queue_depth: self.in_flight.len() as u32,
+            },
+        );
         Ok(cid)
     }
 
@@ -107,6 +131,13 @@ impl QueuePair {
             if self.in_flight[i].done_at <= now {
                 let f = self.in_flight.swap_remove(i);
                 self.cq.post(f.cid, 0, sq_head);
+                self.trace.emit(
+                    now,
+                    TraceEvent::RingComplete {
+                        cid: f.cid,
+                        queue_depth: self.in_flight.len() as u32,
+                    },
+                );
                 posted += 1;
             } else {
                 i += 1;
@@ -153,13 +184,7 @@ impl QueuePair {
     /// # Panics
     ///
     /// Panics if the ring has fewer than 2 usable slots.
-    pub fn submit_blocking(
-        &mut self,
-        now: Time,
-        opcode: Opcode,
-        offset: u64,
-        bytes: u64,
-    ) -> Time {
+    pub fn submit_blocking(&mut self, now: Time, opcode: Opcode, offset: u64, bytes: u64) -> Time {
         let mut now = now;
         loop {
             match self.submit(now, opcode, offset, bytes) {
@@ -219,12 +244,20 @@ mod tests {
         let mut q = qp(4); // 3 usable slots
         let mut cids = Vec::new();
         for i in 0..3u64 {
-            cids.push(q.submit(Time::ZERO, Opcode::Read, i * 65_536, 65_536).unwrap());
+            cids.push(
+                q.submit(Time::ZERO, Opcode::Read, i * 65_536, 65_536)
+                    .unwrap(),
+            );
         }
-        assert_eq!(q.submit(Time::ZERO, Opcode::Read, 0, 65_536), Err(QueueFull));
+        assert_eq!(
+            q.submit(Time::ZERO, Opcode::Read, 0, 65_536),
+            Err(QueueFull)
+        );
         // Reaping frees a slot.
         q.poll_until(cids[0]);
-        assert!(q.submit(Time::ZERO, Opcode::Read, 3 * 65_536, 65_536).is_ok());
+        assert!(q
+            .submit(Time::ZERO, Opcode::Read, 3 * 65_536, 65_536)
+            .is_ok());
     }
 
     #[test]
@@ -232,7 +265,9 @@ mod tests {
         let mut q = qp(16);
         let mut dones = Vec::new();
         for i in 0..8u64 {
-            let cid = q.submit(Time::ZERO, Opcode::Read, i * 65_536, 65_536).unwrap();
+            let cid = q
+                .submit(Time::ZERO, Opcode::Read, i * 65_536, 65_536)
+                .unwrap();
             dones.push((cid, i));
         }
         // Nothing is visible before any completion time.
@@ -279,7 +314,9 @@ mod tests {
     fn cids_wrap_without_collision_in_flight() {
         let mut q = qp(4);
         for i in 0..1_000u64 {
-            let cid = q.submit(Time::ZERO, Opcode::Read, (i % 64) * 65_536, 65_536).unwrap();
+            let cid = q
+                .submit(Time::ZERO, Opcode::Read, (i % 64) * 65_536, 65_536)
+                .unwrap();
             q.poll_until(cid);
         }
         assert_eq!(q.device().stats().reads, 1_000);

@@ -45,7 +45,12 @@ pub struct Command {
 impl Command {
     /// Creates an I/O command.
     pub fn io(cid: u16, opcode: Opcode, lba: u64, blocks: u32) -> Command {
-        Command { cid, opcode, lba, blocks }
+        Command {
+            cid,
+            opcode,
+            lba,
+            blocks,
+        }
     }
 
     /// Payload size in bytes given the device's logical block size.
@@ -110,7 +115,12 @@ impl SubmissionQueue {
     /// Panics if `slots < 2`.
     pub fn new(slots: usize) -> SubmissionQueue {
         assert!(slots >= 2, "nvme queues need at least 2 slots");
-        SubmissionQueue { ring: vec![None; slots], head: 0, tail: 0, doorbell: 0 }
+        SubmissionQueue {
+            ring: vec![None; slots],
+            head: 0,
+            tail: 0,
+            doorbell: 0,
+        }
     }
 
     /// Number of usable slots.
@@ -159,7 +169,9 @@ impl SubmissionQueue {
         if self.head == self.doorbell {
             return None;
         }
-        let cmd = self.ring[self.head].take().expect("ring slot below doorbell is filled");
+        let cmd = self.ring[self.head]
+            .take()
+            .expect("ring slot below doorbell is filled");
         self.head = (self.head + 1) % self.ring.len();
         cmd.into()
     }
@@ -204,7 +216,12 @@ impl CompletionQueue {
         assert!(slots >= 2, "nvme queues need at least 2 slots");
         CompletionQueue {
             ring: vec![
-                CompletionEntry { cid: 0, status: 0, phase: false, sq_head: 0 };
+                CompletionEntry {
+                    cid: 0,
+                    status: 0,
+                    phase: false,
+                    sq_head: 0
+                };
                 slots
             ],
             tail: 0,
@@ -216,7 +233,12 @@ impl CompletionQueue {
 
     /// Controller side: posts a completion for command `cid`.
     pub fn post(&mut self, cid: u16, status: u16, sq_head: u16) {
-        self.ring[self.tail] = CompletionEntry { cid, status, phase: self.producer_phase, sq_head };
+        self.ring[self.tail] = CompletionEntry {
+            cid,
+            status,
+            phase: self.producer_phase,
+            sq_head,
+        };
         self.tail += 1;
         if self.tail == self.ring.len() {
             self.tail = 0;

@@ -42,9 +42,16 @@ impl Backprop {
     ///
     /// Panics if `layers` or `batches` is zero.
     pub fn new(scale: &WorkloadScale, layers: usize, batches: usize) -> Backprop {
-        assert!(layers > 0 && batches > 0, "layers and batches must be positive");
+        assert!(
+            layers > 0 && batches > 0,
+            "layers and batches must be positive"
+        );
         let layers = layers.min(scale.total_pages);
-        Backprop { layers, layer_pages: (scale.total_pages / layers).max(1), batches }
+        Backprop {
+            layers,
+            layer_pages: (scale.total_pages / layers).max(1),
+            batches,
+        }
     }
 
     fn weight_page(&self, layer: usize, p: usize) -> PageId {
@@ -62,8 +69,7 @@ impl Workload for Backprop {
     }
 
     fn trace(&self, _seed: u64) -> Vec<WarpAccess> {
-        let mut out =
-            Vec::with_capacity(2 * self.batches * self.layers * self.layer_pages);
+        let mut out = Vec::with_capacity(2 * self.batches * self.layers * self.layer_pages);
         for _ in 0..self.batches {
             // Forward: read weights layer by layer.
             for layer in 0..self.layers {

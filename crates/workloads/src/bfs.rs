@@ -71,15 +71,19 @@ impl Workload for Bfs {
             let mut next = Vec::new();
             for chunk in frontier.chunks(32) {
                 // Read CSR offsets for the chunk.
-                let offset_pages: Vec<PageId> =
-                    chunk.iter().map(|&v| PageId(layout.offset_page(v))).collect();
+                let offset_pages: Vec<PageId> = chunk
+                    .iter()
+                    .map(|&v| PageId(layout.offset_page(v)))
+                    .collect();
                 push_scattered(&mut out, offset_pages, false);
                 // Read edge-target pages; discover neighbors.
                 let mut edge_pages = Vec::new();
                 let mut discovered = Vec::new();
                 for &v in chunk {
-                    let (start, end) =
-                        (g.offsets[v as usize] as u64, g.offsets[v as usize + 1] as u64);
+                    let (start, end) = (
+                        g.offsets[v as usize] as u64,
+                        g.offsets[v as usize + 1] as u64,
+                    );
                     let epp = layout.entries_per_page();
                     let mut i = start;
                     while i < end {
@@ -95,8 +99,10 @@ impl Workload for Bfs {
                 }
                 push_scattered(&mut out, edge_pages, false);
                 // Write distances for the newly discovered vertices.
-                let dist_pages: Vec<PageId> =
-                    discovered.iter().map(|&u| PageId(layout.value_page(u))).collect();
+                let dist_pages: Vec<PageId> = discovered
+                    .iter()
+                    .map(|&u| PageId(layout.value_page(u)))
+                    .collect();
                 push_scattered(&mut out, dist_pages, true);
                 next.extend(discovered);
             }
@@ -134,7 +140,10 @@ mod tests {
     fn trace_has_scattered_accesses() {
         let w = small();
         let divergent = w.trace(0).iter().filter(|a| a.pages.len() > 1).count();
-        assert!(divergent > 0, "graph traversal must produce divergent accesses");
+        assert!(
+            divergent > 0,
+            "graph traversal must produce divergent accesses"
+        );
     }
 
     #[test]

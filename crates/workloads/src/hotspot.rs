@@ -41,7 +41,10 @@ impl Hotspot {
     /// Panics if `iterations` is zero.
     pub fn new(scale: &WorkloadScale, iterations: usize) -> Hotspot {
         assert!(iterations > 0, "hotspot needs at least one iteration");
-        Hotspot { grid_pages: (scale.total_pages / 3).max(1), iterations }
+        Hotspot {
+            grid_pages: (scale.total_pages / 3).max(1),
+            iterations,
+        }
     }
 
     fn temp_page(&self, parity: usize, i: usize) -> PageId {

@@ -33,12 +33,22 @@ pub struct KronConfig {
 impl KronConfig {
     /// GAP-Kron parameters at the given scale.
     pub fn gap(scale: u32) -> KronConfig {
-        KronConfig { scale, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, permute: false }
+        KronConfig {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            permute: false,
+        }
     }
 
     /// GAP parameters with the random vertex permutation applied.
     pub fn gap_permuted(scale: u32) -> KronConfig {
-        KronConfig { permute: true, ..KronConfig::gap(scale) }
+        KronConfig {
+            permute: true,
+            ..KronConfig::gap(scale)
+        }
     }
 }
 
@@ -63,7 +73,10 @@ impl KronGraph {
     pub fn generate(config: KronConfig, seed: u64) -> KronGraph {
         assert!(config.scale <= 28, "scale too large for u32 CSR");
         let (a, b, c) = (config.a, config.b, config.c);
-        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0, "invalid RMAT quadrants");
+        assert!(
+            a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0,
+            "invalid RMAT quadrants"
+        );
         let vertices = 1u32 << config.scale;
         let edges = vertices as usize * config.edge_factor as usize;
         let mut rng = gmt_sim::rng::seeded(seed);
@@ -114,7 +127,11 @@ impl KronGraph {
             targets[slot] = dst;
             cursor[src as usize] += 1;
         }
-        KronGraph { vertices, offsets, targets }
+        KronGraph {
+            vertices,
+            offsets,
+            targets,
+        }
     }
 
     /// Number of directed edges.
@@ -159,7 +176,11 @@ impl CsrLayout {
     /// Panics if `page_bytes < 8`.
     pub fn new(vertices: u64, edges: u64, page_bytes: u64) -> CsrLayout {
         assert!(page_bytes >= 8, "pages must hold at least one entry");
-        CsrLayout { vertices, edges, entries_per_page: page_bytes / 8 }
+        CsrLayout {
+            vertices,
+            edges,
+            entries_per_page: page_bytes / 8,
+        }
     }
 
     /// Lays out `graph` on 64 KB pages.
@@ -261,7 +282,9 @@ mod tests {
         // RMAT without permutation concentrates degree on low vertex ids.
         let g = small();
         let low: u64 = (0..64).map(|v| g.degree(v) as u64).sum();
-        let high: u64 = (g.vertices - 64..g.vertices).map(|v| g.degree(v) as u64).sum();
+        let high: u64 = (g.vertices - 64..g.vertices)
+            .map(|v| g.degree(v) as u64)
+            .sum();
         assert!(low > high * 4, "low-id degree {low} vs high-id {high}");
     }
 
@@ -287,8 +310,14 @@ mod tests {
             low_mass(&raw)
         );
         // Degree skew itself survives relabeling.
-        let max_deg = (0..permuted.vertices).map(|v| permuted.degree(v)).max().unwrap();
-        assert!(max_deg > 16 * 4, "hubs must survive relabeling, max degree {max_deg}");
+        let max_deg = (0..permuted.vertices)
+            .map(|v| permuted.degree(v))
+            .max()
+            .unwrap();
+        assert!(
+            max_deg > 16 * 4,
+            "hubs must survive relabeling, max degree {max_deg}"
+        );
     }
 
     #[test]

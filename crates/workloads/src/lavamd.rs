@@ -48,7 +48,10 @@ impl LavaMd {
         );
         let boxes = scale.total_pages / 2;
         let dim = (boxes as f64).cbrt().floor() as usize;
-        LavaMd { dim: dim.max(2), neighbor_fraction }
+        LavaMd {
+            dim: dim.max(2),
+            neighbor_fraction,
+        }
     }
 
     fn boxes(&self) -> usize {

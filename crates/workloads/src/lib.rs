@@ -105,7 +105,10 @@ mod tests {
 
     #[test]
     fn suite_has_all_nine_in_paper_order() {
-        let names: Vec<_> = suite(&WorkloadScale::tiny()).iter().map(|w| w.name()).collect();
+        let names: Vec<_> = suite(&WorkloadScale::tiny())
+            .iter()
+            .map(|w| w.name())
+            .collect();
         assert_eq!(
             names,
             vec![

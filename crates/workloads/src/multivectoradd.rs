@@ -45,8 +45,14 @@ impl MultiVectorAdd {
     pub fn new(scale: &WorkloadScale, inputs: usize) -> MultiVectorAdd {
         assert!(inputs > 0, "need at least one input vector");
         let vector_pages = scale.total_pages / (inputs + 1);
-        assert!(vector_pages > 0, "scale too small for {inputs} input vectors");
-        MultiVectorAdd { inputs, vector_pages }
+        assert!(
+            vector_pages > 0,
+            "scale too small for {inputs} input vectors"
+        );
+        MultiVectorAdd {
+            inputs,
+            vector_pages,
+        }
     }
 
     /// Pages per vector.
@@ -105,7 +111,10 @@ mod tests {
         let w = MultiVectorAdd::new(&WorkloadScale::pages(100), 4);
         let trace = w.trace(0);
         let in00 = w.in_page(0, 0);
-        let touches = trace.iter().filter(|a| a.pages.iter().any(|p| p == in00)).count();
+        let touches = trace
+            .iter()
+            .filter(|a| a.pages.iter().any(|p| p == in00))
+            .count();
         assert_eq!(touches, 1);
     }
 
@@ -132,7 +141,10 @@ mod tests {
         for a in w.trace(0) {
             if a.write {
                 for page in a.pages.iter() {
-                    assert!((page.0 as usize) < w.vector_pages(), "write to input page {page}");
+                    assert!(
+                        (page.0 as usize) < w.vector_pages(),
+                        "write to input page {page}"
+                    );
                 }
             }
         }

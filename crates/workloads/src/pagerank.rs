@@ -34,7 +34,10 @@ impl PageRank {
     /// Generates a GAP-Kron graph sized near the scale; 3 iterations.
     pub fn with_scale(scale: &WorkloadScale) -> PageRank {
         PageRank::on_graph(
-            KronGraph::generate(KronConfig::gap(scale_bits_for_pages(scale.total_pages)), 0x9A6E),
+            KronGraph::generate(
+                KronConfig::gap(scale_bits_for_pages(scale.total_pages)),
+                0x9A6E,
+            ),
             3,
         )
     }
@@ -47,7 +50,11 @@ impl PageRank {
     pub fn on_graph(graph: KronGraph, iterations: usize) -> PageRank {
         assert!(iterations > 0, "pagerank needs at least one iteration");
         let layout = CsrLayout::for_graph(&graph);
-        PageRank { graph, layout, iterations }
+        PageRank {
+            graph,
+            layout,
+            iterations,
+        }
     }
 }
 
@@ -68,14 +75,18 @@ impl Workload for PageRank {
         for _ in 0..self.iterations {
             let vertices: Vec<u32> = (0..g.vertices).collect();
             for chunk in vertices.chunks(32) {
-                let offset_pages: Vec<PageId> =
-                    chunk.iter().map(|&v| PageId(layout.offset_page(v))).collect();
+                let offset_pages: Vec<PageId> = chunk
+                    .iter()
+                    .map(|&v| PageId(layout.offset_page(v)))
+                    .collect();
                 push_scattered(&mut out, offset_pages, false);
                 let mut edge_pages = Vec::new();
                 let mut rank_reads = Vec::new();
                 for &v in chunk {
-                    let (start, end) =
-                        (g.offsets[v as usize] as u64, g.offsets[v as usize + 1] as u64);
+                    let (start, end) = (
+                        g.offsets[v as usize] as u64,
+                        g.offsets[v as usize + 1] as u64,
+                    );
                     let mut i = start;
                     while i < end {
                         edge_pages.push(PageId(layout.edge_page(i)));
@@ -87,8 +98,10 @@ impl Workload for PageRank {
                 }
                 push_scattered(&mut out, edge_pages, false);
                 push_scattered(&mut out, rank_reads, false);
-                let own_ranks: Vec<PageId> =
-                    chunk.iter().map(|&v| PageId(layout.value_page(v))).collect();
+                let own_ranks: Vec<PageId> = chunk
+                    .iter()
+                    .map(|&v| PageId(layout.value_page(v)))
+                    .collect();
                 push_scattered(&mut out, own_ranks, true);
             }
         }
@@ -108,7 +121,11 @@ mod tests {
     fn every_vertex_rank_is_written_each_iteration() {
         let w = small();
         let trace = w.trace(0);
-        let writes: usize = trace.iter().filter(|a| a.write).map(|a| a.pages.len()).sum();
+        let writes: usize = trace
+            .iter()
+            .filter(|a| a.write)
+            .map(|a| a.pages.len())
+            .sum();
         // 32-vertex chunks usually share one value page, so counts are in
         // pages; each chunk writes at least one page per iteration.
         let chunks = w.graph.vertices.div_ceil(32) as usize;
@@ -124,7 +141,10 @@ mod tests {
             .iter()
             .filter(|a| !a.write && a.pages.iter().any(|p| p == hub_page))
             .count();
-        assert!(hub_reads > w.iterations * 10, "hub page read only {hub_reads} times");
+        assert!(
+            hub_reads > w.iterations * 10,
+            "hub page read only {hub_reads} times"
+        );
     }
 
     #[test]

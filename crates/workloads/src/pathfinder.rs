@@ -80,7 +80,10 @@ mod tests {
         let trace = w.trace(0);
         let wall0 = w.wall_page(0, 0);
         assert_eq!(
-            trace.iter().filter(|a| a.pages.iter().any(|p| p == wall0)).count(),
+            trace
+                .iter()
+                .filter(|a| a.pages.iter().any(|p| p == wall0))
+                .count(),
             1
         );
     }
@@ -90,8 +93,14 @@ mod tests {
         let w = small();
         let trace = w.trace(0);
         let res = w.result_page(0, 0);
-        let touches = trace.iter().filter(|a| a.pages.iter().any(|p| p == res)).count();
-        assert!(touches >= w.rows / 2, "result page touched only {touches} times");
+        let touches = trace
+            .iter()
+            .filter(|a| a.pages.iter().any(|p| p == res))
+            .count();
+        assert!(
+            touches >= w.rows / 2,
+            "result page touched only {touches} times"
+        );
     }
 
     #[test]

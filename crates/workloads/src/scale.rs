@@ -31,7 +31,9 @@ impl WorkloadScale {
     /// Sizes the working set to fill the geometry's configured
     /// over-subscription.
     pub fn for_geometry(geometry: &TierGeometry) -> WorkloadScale {
-        WorkloadScale { total_pages: geometry.total_pages }
+        WorkloadScale {
+            total_pages: geometry.total_pages,
+        }
     }
 
     /// An explicit page count.
@@ -41,7 +43,10 @@ impl WorkloadScale {
     /// Panics if `total_pages` is below the minimum a workload can
     /// meaningfully partition (64).
     pub fn pages(total_pages: usize) -> WorkloadScale {
-        assert!(total_pages >= 64, "workloads need at least 64 pages to partition");
+        assert!(
+            total_pages >= 64,
+            "workloads need at least 64 pages to partition"
+        );
         WorkloadScale { total_pages }
     }
 

@@ -42,7 +42,10 @@ impl Srad {
     /// Panics if `block_pct` is 0 or greater than 100, or if `iterations`
     /// is zero.
     pub fn new(scale: &WorkloadScale, block_pct: usize, iterations: usize) -> Srad {
-        assert!((1..=100).contains(&block_pct), "block percentage must be in 1..=100");
+        assert!(
+            (1..=100).contains(&block_pct),
+            "block percentage must be in 1..=100"
+        );
         assert!(iterations > 0, "srad needs at least one iteration");
         Srad {
             image_pages: scale.total_pages,

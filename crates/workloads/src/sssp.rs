@@ -36,7 +36,10 @@ impl Sssp {
     /// rounds with geometrically shrinking activity.
     pub fn with_scale(scale: &WorkloadScale) -> Sssp {
         Sssp::on_graph(
-            KronGraph::generate(KronConfig::gap(scale_bits_for_pages(scale.total_pages)), 0x555),
+            KronGraph::generate(
+                KronConfig::gap(scale_bits_for_pages(scale.total_pages)),
+                0x555,
+            ),
             vec![1.0, 0.6, 0.35, 0.2, 0.1],
         )
     }
@@ -53,7 +56,11 @@ impl Sssp {
             "activity fractions must be in [0, 1]"
         );
         let layout = CsrLayout::for_graph(&graph);
-        Sssp { graph, layout, round_activity }
+        Sssp {
+            graph,
+            layout,
+            round_activity,
+        }
     }
 }
 
@@ -73,18 +80,23 @@ impl Workload for Sssp {
         let mut rng = gmt_sim::rng::seeded(seed ^ 0x5550);
         let mut out = Vec::new();
         for &activity in &self.round_activity {
-            let active: Vec<u32> =
-                (0..g.vertices).filter(|_| rng.gen::<f64>() < activity).collect();
+            let active: Vec<u32> = (0..g.vertices)
+                .filter(|_| rng.gen::<f64>() < activity)
+                .collect();
             for chunk in active.chunks(32) {
-                let offset_pages: Vec<PageId> =
-                    chunk.iter().map(|&v| PageId(layout.offset_page(v))).collect();
+                let offset_pages: Vec<PageId> = chunk
+                    .iter()
+                    .map(|&v| PageId(layout.offset_page(v)))
+                    .collect();
                 push_scattered(&mut out, offset_pages, false);
                 let mut edge_pages = Vec::new();
                 let mut dist_reads = Vec::new();
                 let mut relaxations = Vec::new();
                 for &v in chunk {
-                    let (start, end) =
-                        (g.offsets[v as usize] as u64, g.offsets[v as usize + 1] as u64);
+                    let (start, end) = (
+                        g.offsets[v as usize] as u64,
+                        g.offsets[v as usize + 1] as u64,
+                    );
                     let mut i = start;
                     while i < end {
                         edge_pages.push(PageId(layout.edge_page(i)));
@@ -124,7 +136,10 @@ mod tests {
         let full = Sssp::on_graph(KronGraph::generate(KronConfig::gap(12), 5), vec![1.0]);
         let trace_two = w.trace(1).len();
         let trace_one = full.trace(1).len();
-        assert!(trace_two < trace_one * 2, "second round must be smaller than the first");
+        assert!(
+            trace_two < trace_one * 2,
+            "second round must be smaller than the first"
+        );
         assert!(trace_two > trace_one, "second round must add accesses");
     }
 
@@ -132,7 +147,10 @@ mod tests {
     fn relaxations_write_distance_pages() {
         let w = small();
         let trace = w.trace(1);
-        assert!(trace.iter().any(|a| a.write), "sssp must relax some distances");
+        assert!(
+            trace.iter().any(|a| a.write),
+            "sssp must relax some distances"
+        );
     }
 
     #[test]

@@ -37,8 +37,16 @@ impl ZipfLoop {
     /// `[0, 1]`.
     pub fn new(scale: &WorkloadScale, skew: f64, write_fraction: f64, accesses: usize) -> ZipfLoop {
         assert!(skew >= 0.0, "skew must be non-negative");
-        assert!((0.0..=1.0).contains(&write_fraction), "write fraction must be in [0, 1]");
-        ZipfLoop { pages: scale.total_pages as u64, skew, write_fraction, accesses }
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        ZipfLoop {
+            pages: scale.total_pages as u64,
+            skew,
+            write_fraction,
+            accesses,
+        }
     }
 }
 
@@ -78,7 +86,10 @@ pub struct SequentialScan {
 impl SequentialScan {
     /// `passes` read-only sweeps over the scale's pages.
     pub fn new(scale: &WorkloadScale, passes: usize) -> SequentialScan {
-        SequentialScan { pages: scale.total_pages, passes }
+        SequentialScan {
+            pages: scale.total_pages,
+            passes,
+        }
     }
 }
 
@@ -115,7 +126,11 @@ impl StridedSweep {
     /// Panics if `stride` is zero.
     pub fn new(scale: &WorkloadScale, stride: usize, rounds: usize) -> StridedSweep {
         assert!(stride > 0, "stride must be positive");
-        StridedSweep { pages: scale.total_pages, stride, rounds }
+        StridedSweep {
+            pages: scale.total_pages,
+            stride,
+            rounds,
+        }
     }
 }
 
@@ -180,8 +195,13 @@ mod tests {
         let scale = WorkloadScale::pages(1_000);
         let skewed = ZipfLoop::new(&scale, 1.0, 0.0, 5_000);
         let trace = skewed.trace(3);
-        let rank0_touches =
-            trace.iter().filter(|a| a.pages.first() == PageId(0)).count();
-        assert!(rank0_touches > 200, "rank 0 touched only {rank0_touches} times");
+        let rank0_touches = trace
+            .iter()
+            .filter(|a| a.pages.first() == PageId(0))
+            .count();
+        assert!(
+            rank0_touches > 200,
+            "rank 0 touched only {rank0_touches} times"
+        );
     }
 }

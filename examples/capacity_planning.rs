@@ -30,8 +30,18 @@ fn main() {
     // Step 1: read the curve.
     let tier1 = 512usize;
     let mut curve = Table::new(vec!["capacity (pages)", "LRU miss ratio"]);
-    for capacity in [tier1, 2 * tier1, 3 * tier1, 5 * tier1, 8 * tier1, 10 * tier1] {
-        curve.row(vec![capacity.to_string(), fmt_pct(mrc.miss_ratio(capacity))]);
+    for capacity in [
+        tier1,
+        2 * tier1,
+        3 * tier1,
+        5 * tier1,
+        8 * tier1,
+        10 * tier1,
+    ] {
+        curve.row(vec![
+            capacity.to_string(),
+            fmt_pct(mrc.miss_ratio(capacity)),
+        ]);
     }
     println!("{curve}");
     match mrc.capacity_for(0.3) {

@@ -57,7 +57,12 @@ impl Workload for KvStore {
 }
 
 fn main() {
-    let workload = KvStore { pages: 8_192, lookups: 60_000, scan_every: 500, skew: 0.9 };
+    let workload = KvStore {
+        pages: 8_192,
+        lookups: 60_000,
+        scan_every: 500,
+        skew: 0.9,
+    };
     let geometry = geometry_for(&workload, 4.0, 2.0);
     println!(
         "KvStore: {} pages, zipf skew {}, scans every {} lookups\n",
@@ -65,8 +70,12 @@ fn main() {
     );
 
     let bam = run_system(&workload, SystemKind::Bam, &geometry, 7);
-    let mut table =
-        Table::new(vec!["System", "speedup vs BaM", "T1 hit rate", "T2 hit rate"]);
+    let mut table = Table::new(vec![
+        "System",
+        "speedup vs BaM",
+        "T1 hit rate",
+        "T2 hit rate",
+    ]);
     for system in [
         SystemKind::Bam,
         SystemKind::Gmt(PolicyKind::TierOrder),

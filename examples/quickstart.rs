@@ -23,7 +23,10 @@ fn main() {
     let bam = run_system(&workload, SystemKind::Bam, &geometry, 1);
     let gmt = run_system(&workload, SystemKind::Gmt(PolicyKind::Reuse), &geometry, 1);
 
-    println!("BaM        : {} ({} SSD reads)", bam.elapsed, bam.metrics.ssd_reads);
+    println!(
+        "BaM        : {} ({} SSD reads)",
+        bam.elapsed, bam.metrics.ssd_reads
+    );
     println!(
         "GMT-Reuse  : {} ({} SSD reads, {} Tier-2 hits, {:.1}% prediction accuracy)",
         gmt.elapsed,

@@ -23,11 +23,11 @@ fn main() {
     let trace = workload.trace(1);
     let exec = Executor::new(ExecutorConfig::default());
 
-    let baseline = exec.run(
-        Bam::new(BamConfig::new(geometry)),
-        trace.iter().cloned(),
+    let baseline = exec.run(Bam::new(BamConfig::new(geometry)), trace.iter().cloned());
+    println!(
+        "Srad, Tier-1 = {} pages; all speedups vs 1-SSD BaM\n",
+        geometry.tier1_pages
     );
-    println!("Srad, Tier-1 = {} pages; all speedups vs 1-SSD BaM\n", geometry.tier1_pages);
 
     let mut table = Table::new(vec!["SSDs", "BaM", "GMT-Reuse", "GMT edge"]);
     for devices in [1usize, 2, 4, 8] {

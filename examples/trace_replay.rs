@@ -1,16 +1,19 @@
 //! Record once, replay everywhere: serialize an expensive trace (a BFS
 //! over a generated graph) to the compact binary format and replay the
-//! *identical* accesses through two systems.
+//! *identical* accesses through two systems — then capture one replay's
+//! decision trace and export it as JSONL for offline analysis.
 //!
 //! ```sh
 //! cargo run --release --example trace_replay
 //! ```
 
 use gmt::analysis::runner::geometry_for;
+use gmt::analysis::tracesum::counters_from_trace;
 use gmt::baselines::{Bam, BamConfig};
 use gmt::core::{Gmt, GmtConfig};
 use gmt::gpu::{Executor, ExecutorConfig};
 use gmt::mem::trace;
+use gmt::sim::trace::to_jsonl;
 use gmt::workloads::{bfs::Bfs, Workload, WorkloadScale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Record it: ~9 bytes per access.
     let bytes = trace::encode(&accesses);
-    println!("serialized: {} bytes ({:.1} B/access)", bytes.len(), bytes.len() as f64 / accesses.len() as f64);
+    println!(
+        "serialized: {} bytes ({:.1} B/access)",
+        bytes.len(),
+        bytes.len() as f64 / accesses.len() as f64
+    );
 
     // Replay from the serialized form — no graph generation needed.
     let replayed = trace::decode(&bytes)?;
@@ -41,5 +48,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup   : {:.2}x",
         bam.elapsed.as_secs_f64() / gmt.elapsed.as_secs_f64()
     );
+
+    // Replay a slice once more with the decision trace on: every tiering
+    // decision (miss, eviction, Tier-2 placement, SSD submission...)
+    // lands in a shared ring as a typed, timestamped event. The ring is
+    // sized to hold the whole slice so the counters reconcile exactly.
+    let slice = 2_000.min(replayed.len());
+    let mut traced = Gmt::new(GmtConfig::new(geometry));
+    let sink = traced.enable_tracing(1 << 20);
+    let out = exec.run(traced, replayed.iter().take(slice).cloned());
+    let records = sink.snapshot();
+    let counters = counters_from_trace(&records);
+    counters
+        .reconcile(&out.backend.metrics())
+        .expect("the trace reconciles exactly with the runtime's own counters");
+    println!(
+        "decision trace: {} records ({} dropped), {} misses / {} Tier-2 hits",
+        records.len(),
+        sink.dropped(),
+        counters.t1_misses,
+        counters.t2_hits
+    );
+
+    // Export as line-delimited JSON — byte-identical for identical
+    // configuration and seed, so diffs mean behavior changes.
+    let jsonl = to_jsonl(&records);
+    let path = std::env::temp_dir().join("gmt_decision_trace.jsonl");
+    std::fs::write(&path, &jsonl)?;
+    println!("wrote {} ({} bytes)", path.display(), jsonl.len());
+    for line in jsonl.lines().take(3) {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -27,7 +27,10 @@ fn main() {
         ("Hybrid-8T", TransferMethod::hybrid(8)),
         ("Hybrid-32T (GMT default)", TransferMethod::hybrid_32t()),
     ] {
-        let config = GmtConfig { transfer: method, ..base };
+        let config = GmtConfig {
+            transfer: method,
+            ..base
+        };
         let r = run_system_with(&srad, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
         table.row(vec![name.to_string(), fmt_ratio(r.speedup_over(&bam))]);
     }
@@ -48,7 +51,11 @@ fn main() {
         let mut config = base;
         config.reuse.bypass_threshold = threshold;
         let r = run_system_with(&hotspot, SystemKind::Gmt(PolicyKind::Reuse), &config, 1);
-        let label = if threshold > 1.0 { "disabled".into() } else { format!("{threshold:.2}") };
+        let label = if threshold > 1.0 {
+            "disabled".into()
+        } else {
+            format!("{threshold:.2}")
+        };
         table.row(vec![
             label,
             fmt_ratio(r.speedup_over(&bam)),

@@ -40,12 +40,20 @@ struct Options {
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { app: None, system: None, t1: 1024, ratio: 4.0, os: 2.0, seed: 1 };
+    let mut opts = Options {
+        app: None,
+        system: None,
+        t1: 1024,
+        ratio: 4.0,
+        os: 2.0,
+        seed: 1,
+    };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = || {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag.as_str() {
             "--app" => opts.app = Some(value()?),
@@ -97,7 +105,10 @@ fn print_run(r: &RunResult) {
     println!("t2 placements     {}", r.metrics.t2_placements);
     println!("t1 evictions      {}", r.metrics.t1_evictions);
     if r.metrics.predictions > 0 {
-        println!("pred. accuracy    {}", fmt_pct(r.metrics.prediction_accuracy()));
+        println!(
+            "pred. accuracy    {}",
+            fmt_pct(r.metrics.prediction_accuracy())
+        );
     }
 }
 

@@ -29,7 +29,10 @@ fn ssd_saturated_bandwidth_near_gen3_x4() {
         done = done.max(ssd.read(Time::ZERO, i * PAGE, PAGE));
     }
     let gbps = (pages * PAGE) as f64 / done.as_secs_f64() / 1e9;
-    assert!((2.6..3.4).contains(&gbps), "saturated SSD bandwidth {gbps} GB/s");
+    assert!(
+        (2.6..3.4).contains(&gbps),
+        "saturated SSD bandwidth {gbps} GB/s"
+    );
 }
 
 #[test]
@@ -38,7 +41,11 @@ fn host_page_fetch_near_paper_50us_under_load() {
     // The figure is a loaded-path number: measure the mean completion gap
     // of a stream of single-page DMA fetches.
     let mut link = HostLink::new(HostLinkConfig::default());
-    let batch = TransferBatch { pages: 1, page_bytes: PAGE, threads: 32 };
+    let batch = TransferBatch {
+        pages: 1,
+        page_bytes: PAGE,
+        threads: 32,
+    };
     let mut last = Time::ZERO;
     let n = 100u32;
     for _ in 0..n {
@@ -57,7 +64,11 @@ fn host_fetch_beats_ssd_fetch_by_the_paper_margin() {
     // roughly a 2-3x latency advantage at low load.
     let mut link = HostLink::new(HostLinkConfig::default());
     let mut ssd = SsdDevice::new(SsdConfig::default());
-    let batch = TransferBatch { pages: 1, page_bytes: PAGE, threads: 32 };
+    let batch = TransferBatch {
+        pages: 1,
+        page_bytes: PAGE,
+        threads: 32,
+    };
     let host = link.transfer(Time::ZERO, batch, TransferMethod::hybrid_32t());
     let flash = ssd.read(Time::ZERO, 0, PAGE);
     let advantage = flash.as_nanos() as f64 / host.as_nanos() as f64;
@@ -68,10 +79,17 @@ fn host_fetch_beats_ssd_fetch_by_the_paper_margin() {
 fn pcie_x16_link_bandwidth() {
     // Table 1: PCIe Gen3 x16 (~12.8 GB/s effective after overheads).
     let mut link = HostLink::new(HostLinkConfig::default());
-    let batch = TransferBatch { pages: 256, page_bytes: PAGE, threads: 32 };
+    let batch = TransferBatch {
+        pages: 256,
+        page_bytes: PAGE,
+        threads: 32,
+    };
     let done = link.transfer(Time::ZERO, batch, TransferMethod::ZeroCopy);
     let gbps = batch.bytes() as f64 / done.since(Time::ZERO).as_secs_f64() / 1e9;
-    assert!((10.0..13.0).contains(&gbps), "zero-copy bulk bandwidth {gbps} GB/s");
+    assert!(
+        (10.0..13.0).contains(&gbps),
+        "zero-copy bulk bandwidth {gbps} GB/s"
+    );
 }
 
 #[test]
@@ -82,13 +100,23 @@ fn scheduling_model_does_not_drive_the_results() {
     use gmt::baselines::{Bam, BamConfig};
     use gmt::mem::TierGeometry;
     let geometry = TierGeometry::from_tier1(64, 4.0, 2.0);
-    let trace: Vec<WarpAccess> =
-        (0..4u64).flat_map(|_| (0..640).map(|p| WarpAccess::read(PageId(p)))).collect();
-    let cfg = ExecutorConfig { warp_slots: 128, compute_per_access: Dur::from_nanos(150) };
+    let trace: Vec<WarpAccess> = (0..4u64)
+        .flat_map(|_| (0..640).map(|p| WarpAccess::read(PageId(p))))
+        .collect();
+    let cfg = ExecutorConfig {
+        warp_slots: 128,
+        compute_per_access: Dur::from_nanos(150),
+    };
     let flat = Executor::new(cfg).run(Bam::new(BamConfig::new(geometry)), trace.iter().cloned());
     let part = PartitionedExecutor::new(cfg)
         .run(Bam::new(BamConfig::new(geometry)), trace.iter().cloned());
     let ratio = part.elapsed.as_nanos() as f64 / flat.elapsed.as_nanos() as f64;
-    assert!((0.85..1.25).contains(&ratio), "executor models diverge: {ratio}");
-    assert_eq!(flat.backend.metrics().ssd_reads, part.backend.metrics().ssd_reads);
+    assert!(
+        (0.85..1.25).contains(&ratio),
+        "executor models diverge: {ratio}"
+    );
+    assert_eq!(
+        flat.backend.metrics().ssd_reads,
+        part.backend.metrics().ssd_reads
+    );
 }

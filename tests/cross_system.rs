@@ -118,7 +118,10 @@ fn gmt_reuse_beats_the_other_policies_on_average() {
     let tier = geo_mean(tier_s);
     let rand = geo_mean(rand_s);
     assert!(reuse > rand, "Reuse {reuse:.3} must beat Random {rand:.3}");
-    assert!(reuse >= tier * 0.95, "Reuse {reuse:.3} must be at least on par with TierOrder {tier:.3}");
+    assert!(
+        reuse >= tier * 0.95,
+        "Reuse {reuse:.3} must be at least on par with TierOrder {tier:.3}"
+    );
 }
 
 #[test]
@@ -170,8 +173,18 @@ fn larger_tier2_never_hurts_reuse() {
         }
         let g2 = geometry_for(workload.as_ref(), 2.0, 2.0);
         let g8 = geometry_for(workload.as_ref(), 8.0, 2.0);
-        let r2 = run_system(workload.as_ref(), SystemKind::Gmt(PolicyKind::Reuse), &g2, SEED);
-        let r8 = run_system(workload.as_ref(), SystemKind::Gmt(PolicyKind::Reuse), &g8, SEED);
+        let r2 = run_system(
+            workload.as_ref(),
+            SystemKind::Gmt(PolicyKind::Reuse),
+            &g2,
+            SEED,
+        );
+        let r8 = run_system(
+            workload.as_ref(),
+            SystemKind::Gmt(PolicyKind::Reuse),
+            &g8,
+            SEED,
+        );
         assert!(
             r8.elapsed.as_nanos() <= r2.elapsed.as_nanos() * 11 / 10,
             "{name}: ratio 8 ({}) much slower than ratio 2 ({})",

@@ -74,10 +74,7 @@ fn ssd_arrays_relieve_the_storage_bottleneck() {
     let geometry = geometry_for(&workload, 4.0, 2.0);
     let trace = workload.trace(SEED);
     let exec = Executor::new(ExecutorConfig::default());
-    let one = exec.run(
-        Bam::new(BamConfig::new(geometry)),
-        trace.iter().cloned(),
-    );
+    let one = exec.run(Bam::new(BamConfig::new(geometry)), trace.iter().cloned());
     let four = exec.run(
         Bam::new(BamConfig::new(geometry).with_devices(4)),
         trace.iter().cloned(),
@@ -88,7 +85,10 @@ fn ssd_arrays_relieve_the_storage_bottleneck() {
         four.elapsed,
         one.elapsed
     );
-    assert_eq!(one.backend.metrics().ssd_reads, four.backend.metrics().ssd_reads);
+    assert_eq!(
+        one.backend.metrics().ssd_reads,
+        four.backend.metrics().ssd_reads
+    );
 }
 
 #[test]
@@ -124,8 +124,18 @@ fn clock_tier2_behaves_like_fifo_with_exclusive_tiers() {
     fifo_cfg.tier2_insert = Some(Tier2Insert::EvictFifo);
     let mut clock_cfg = GmtConfig::new(geometry);
     clock_cfg.tier2_insert = Some(Tier2Insert::EvictClock);
-    let fifo = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &fifo_cfg, SEED);
-    let clock = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &clock_cfg, SEED);
+    let fifo = run_system_with(
+        &workload,
+        SystemKind::Gmt(PolicyKind::Reuse),
+        &fifo_cfg,
+        SEED,
+    );
+    let clock = run_system_with(
+        &workload,
+        SystemKind::Gmt(PolicyKind::Reuse),
+        &clock_cfg,
+        SEED,
+    );
     let (a, b) = (fifo.metrics.t2_hits as f64, clock.metrics.t2_hits as f64);
     assert!(
         (a - b).abs() / a.max(1.0) < 0.01,
@@ -164,7 +174,10 @@ fn per_page_markov_runs_and_grades_predictions() {
     config.reuse.markov_scope = MarkovScope::PerPage;
     let r = run_system_with(&workload, SystemKind::Gmt(PolicyKind::Reuse), &config, SEED);
     assert!(r.metrics.predictions > 0);
-    assert!(r.metrics.prediction_accuracy() > 0.3, "per-page accuracy collapsed");
+    assert!(
+        r.metrics.prediction_accuracy() > 0.3,
+        "per-page accuracy collapsed"
+    );
 }
 
 #[test]
@@ -172,9 +185,20 @@ fn synthetic_zipf_behaves_like_a_cache_friendly_workload() {
     let workload = ZipfLoop::new(&WorkloadScale::pages(2_000), 0.99, 0.05, 40_000);
     let geometry = geometry_for(&workload, 4.0, 2.0);
     let bam = run_system(&workload, SystemKind::Bam, &geometry, SEED);
-    let gmt = run_system(&workload, SystemKind::Gmt(PolicyKind::Reuse), &geometry, SEED);
-    assert!(bam.metrics.t1_hit_rate() > 0.5, "hot set must mostly hit tier-1");
-    assert!(gmt.speedup_over(&bam) >= 0.95, "tier-2 must not hurt a zipf loop");
+    let gmt = run_system(
+        &workload,
+        SystemKind::Gmt(PolicyKind::Reuse),
+        &geometry,
+        SEED,
+    );
+    assert!(
+        bam.metrics.t1_hit_rate() > 0.5,
+        "hot set must mostly hit tier-1"
+    );
+    assert!(
+        gmt.speedup_over(&bam) >= 0.95,
+        "tier-2 must not hurt a zipf loop"
+    );
 }
 
 #[test]

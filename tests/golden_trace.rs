@@ -1,0 +1,110 @@
+//! Golden-trace regression tests: identical configuration and seed must
+//! produce *byte-identical* decision traces, and those bytes must match
+//! the fixtures committed under `tests/fixtures/`.
+//!
+//! When an intentional change to the runtime or the trace schema shifts
+//! the stream, regenerate the fixtures and review the diff like any other
+//! golden file:
+//!
+//! ```sh
+//! REGEN_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use gmt::analysis::runner::geometry_for;
+use gmt::core::{Gmt, GmtConfig};
+use gmt::gpu::{Executor, ExecutorConfig};
+use gmt::sim::trace::{to_csv, to_jsonl, validate};
+use gmt::workloads::synthetic::{SequentialScan, ZipfLoop};
+use gmt::workloads::{Workload, WorkloadScale};
+
+/// Runs `workload` through a traced GMT runtime and exports the stream.
+fn traced_jsonl(workload: &dyn Workload, config: &GmtConfig, seed: u64) -> String {
+    let mut gmt = Gmt::new(*config);
+    let sink = gmt.enable_tracing(1 << 18);
+    Executor::new(ExecutorConfig::default()).run(gmt, workload.trace(seed));
+    assert_eq!(sink.dropped(), 0, "golden traces must capture every record");
+    let records = sink.snapshot();
+    validate(&records).expect("trace must be well-formed");
+    to_jsonl(&records)
+}
+
+/// A short two-pass sequential scan: exercises cold misses, evictions,
+/// Tier-2 placement and Tier-2 hits on the second pass.
+fn scan_case() -> (SequentialScan, GmtConfig) {
+    let workload = SequentialScan::new(&WorkloadScale::pages(64), 2);
+    let config = GmtConfig::new(geometry_for(&workload, 4.0, 2.0));
+    (workload, config)
+}
+
+/// A skewed read/write loop: exercises dirty evictions, write-backs,
+/// wasteful lookups and the reuse predictor's grading.
+fn zipf_case() -> (ZipfLoop, GmtConfig) {
+    let workload = ZipfLoop::new(&WorkloadScale::pages(64), 0.9, 0.2, 100);
+    let config = GmtConfig::new(geometry_for(&workload, 4.0, 2.0));
+    (workload, config)
+}
+
+fn check_golden(name: &str, produced: &str, fixture: &str) {
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+        std::fs::write(&path, produced).expect("write fixture");
+        return;
+    }
+    assert!(
+        produced == fixture,
+        "{name} drifted from its fixture; if the change is intentional run \
+         `REGEN_GOLDEN=1 cargo test --test golden_trace` and review the diff"
+    );
+}
+
+#[test]
+fn scan_trace_is_deterministic_and_matches_fixture() {
+    let (workload, config) = scan_case();
+    let first = traced_jsonl(&workload, &config, 7);
+    let second = traced_jsonl(&workload, &config, 7);
+    assert_eq!(
+        first, second,
+        "same config + seed must give byte-identical traces"
+    );
+    check_golden(
+        "golden_scan.jsonl",
+        &first,
+        include_str!("fixtures/golden_scan.jsonl"),
+    );
+}
+
+#[test]
+fn zipf_trace_is_deterministic_and_matches_fixture() {
+    let (workload, config) = zipf_case();
+    let first = traced_jsonl(&workload, &config, 7);
+    let second = traced_jsonl(&workload, &config, 7);
+    assert_eq!(
+        first, second,
+        "same config + seed must give byte-identical traces"
+    );
+    check_golden(
+        "golden_zipf.jsonl",
+        &first,
+        include_str!("fixtures/golden_zipf.jsonl"),
+    );
+}
+
+#[test]
+fn different_seeds_change_the_zipf_trace() {
+    let (workload, config) = zipf_case();
+    let a = traced_jsonl(&workload, &config, 7);
+    let b = traced_jsonl(&workload, &config, 8);
+    assert_ne!(a, b, "the seed must actually steer the workload");
+}
+
+#[test]
+fn csv_export_is_deterministic_too() {
+    let (workload, config) = scan_case();
+    let export = |_| {
+        let mut gmt = Gmt::new(config);
+        let sink = gmt.enable_tracing(1 << 18);
+        Executor::new(ExecutorConfig::default()).run(gmt, workload.trace(7));
+        to_csv(&sink.snapshot())
+    };
+    assert_eq!(export(0), export(1));
+}

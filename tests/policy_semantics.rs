@@ -29,7 +29,10 @@ fn tierorder_places_unconditionally() {
     let m = gmt.metrics();
     assert_eq!(m.t2_placements, m.t1_evictions);
     assert_eq!(m.discards, 0);
-    assert_eq!(m.ssd_writes, 0, "clean victims never reach the SSD under TierOrder");
+    assert_eq!(
+        m.ssd_writes, 0,
+        "clean victims never reach the SSD under TierOrder"
+    );
 }
 
 #[test]
@@ -100,7 +103,10 @@ fn all_policies_agree_on_hit_and_miss_counts() {
         }
         counts.push((gmt.metrics().t1_hits, gmt.metrics().t1_misses));
     }
-    assert!(counts.windows(2).all(|w| w[0] == w[1]), "counts diverged: {counts:?}");
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "counts diverged: {counts:?}"
+    );
 }
 
 #[test]
@@ -121,8 +127,8 @@ fn dirty_data_is_never_lost() {
         }
         let m = gmt.metrics();
         let snap = gmt.snapshot();
-        let accounted = m.ssd_writes + m.t2_writebacks + snap.dirty_tier1 as u64
-            + snap.dirty_tier2 as u64;
+        let accounted =
+            m.ssd_writes + m.t2_writebacks + snap.dirty_tier1 as u64 + snap.dirty_tier2 as u64;
         assert!(
             accounted >= dirtied,
             "{policy}: {dirtied} dirtied but only {accounted} accounted \

@@ -118,6 +118,29 @@ proptest! {
     }
 
     #[test]
+    fn page_table_mirrors_a_model_map(
+        total in 1usize..64,
+        ops in proptest::collection::vec((0u64..64, 0u32..1000), 1..300),
+    ) {
+        use gmt::mem::PageTable;
+        use std::collections::HashMap;
+        let mut table: PageTable<u32> = PageTable::new(total);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        prop_assert_eq!(table.len(), total);
+        for (page, value) in ops {
+            let page = page % total as u64;
+            *table.get_mut(PageId(page)) = value;
+            model.insert(page, value);
+            prop_assert_eq!(*table.get(PageId(page)), value);
+        }
+        // The table agrees with the model everywhere, defaults included.
+        prop_assert_eq!(table.iter().count(), total);
+        for (page, meta) in table.iter() {
+            prop_assert_eq!(*meta, model.get(&page.0).copied().unwrap_or_default());
+        }
+    }
+
+    #[test]
     fn gmt_runtime_invariants_under_random_traffic(
         seed in 0u64..1000,
         policy_idx in 0usize..3,

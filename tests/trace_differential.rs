@@ -1,0 +1,122 @@
+//! Differential tests: the three runtimes replay the *same* hotspot
+//! workload, and for each one the decision trace must reconcile exactly
+//! with its own `TieringMetrics`. On top of that, the paper's headline
+//! ordering must hold: GMT's Tier-2 absorbs traffic, so its total SSD
+//! I/O never exceeds BaM's.
+
+use gmt::analysis::runner::geometry_for;
+use gmt::analysis::tracesum::{counters_from_trace, TraceCounters};
+use gmt::baselines::{Bam, BamConfig, Hmm, HmmConfig};
+use gmt::core::{Gmt, GmtConfig, TieringMetrics};
+use gmt::gpu::{Executor, ExecutorConfig, MemoryBackend};
+use gmt::sim::trace::validate;
+use gmt::workloads::hotspot::Hotspot;
+use gmt::workloads::{Workload, WorkloadScale};
+
+const SEED: u64 = 13;
+const CAPACITY: usize = 1 << 20;
+
+fn workload() -> Hotspot {
+    Hotspot::with_scale(&WorkloadScale::pages(256))
+}
+
+fn config() -> GmtConfig {
+    GmtConfig::new(geometry_for(&workload(), 4.0, 2.0))
+}
+
+/// Runs `backend` on the hotspot trace and returns its reconciled
+/// trace-derived counters plus its own metrics.
+fn run_reconciled<B>(
+    mut backend: B,
+    sink: gmt::sim::trace::TraceSink,
+    metrics_of: impl Fn(&B) -> TieringMetrics,
+) -> (TraceCounters, TieringMetrics)
+where
+    B: MemoryBackend,
+{
+    Executor::new(ExecutorConfig::default()).run(&mut backend, workload().trace(SEED));
+    assert_eq!(sink.dropped(), 0, "ring must capture the whole run");
+    let records = sink.snapshot();
+    validate(&records).expect("trace must be well-formed");
+    let counters = counters_from_trace(&records);
+    let metrics = metrics_of(&backend);
+    counters
+        .reconcile(&metrics)
+        .expect("trace counters must equal the runtime's metrics");
+    (counters, metrics)
+}
+
+#[test]
+fn gmt_trace_reconciles_with_metrics() {
+    let mut gmt = Gmt::new(config());
+    let sink = gmt.enable_tracing(CAPACITY);
+    let (counters, metrics) = run_reconciled(gmt, sink, |g| g.metrics());
+    assert!(counters.t1_misses > 0);
+    assert!(counters.t2_hits > 0, "a hotspot must produce Tier-2 hits");
+    assert_eq!(metrics.t2_hits, counters.t2_hits);
+}
+
+#[test]
+fn bam_trace_reconciles_with_metrics() {
+    let mut bam = Bam::new(BamConfig::from(config()));
+    let sink = bam.enable_tracing(CAPACITY);
+    let (counters, _) = run_reconciled(bam, sink, |b| b.metrics());
+    assert!(counters.t1_misses > 0);
+    assert_eq!(counters.t2_hits, 0, "BaM has no Tier-2");
+    assert_eq!(
+        counters.ssd_reads, counters.t1_misses,
+        "every BaM miss is one SSD read"
+    );
+}
+
+#[test]
+fn hmm_trace_reconciles_with_metrics() {
+    let mut hmm = Hmm::new(HmmConfig::from(config()));
+    let sink = hmm.enable_tracing(CAPACITY);
+    let (counters, _) = run_reconciled(hmm, sink, |h| h.metrics());
+    assert!(counters.t1_misses > 0);
+    assert!(
+        counters.t2_placements > 0,
+        "UVM victims always enter the page cache"
+    );
+    assert_eq!(
+        counters.discards, 0,
+        "HMM never discards — the host is home"
+    );
+}
+
+#[test]
+fn gmt_total_ssd_io_never_exceeds_bams() {
+    let exec = Executor::new(ExecutorConfig::default());
+    let gmt = exec.run(Gmt::new(config()), workload().trace(SEED));
+    let bam = exec.run(Bam::new(BamConfig::from(config())), workload().trace(SEED));
+    let gmt_io = gmt.backend.metrics().ssd_ios();
+    let bam_io = bam.backend.metrics().ssd_ios();
+    assert!(
+        gmt_io <= bam_io,
+        "Tier-2 must absorb SSD traffic: GMT did {gmt_io} I/Os, BaM {bam_io}"
+    );
+}
+
+#[test]
+fn identical_workload_identical_access_counts() {
+    // The three runtimes see the same stream: the access-level counters
+    // must agree even though everything downstream differs.
+    let exec = Executor::new(ExecutorConfig::default());
+    let gmt = exec
+        .run(Gmt::new(config()), workload().trace(SEED))
+        .backend
+        .metrics();
+    let bam = exec
+        .run(Bam::new(BamConfig::from(config())), workload().trace(SEED))
+        .backend
+        .metrics();
+    let hmm = exec
+        .run(Hmm::new(HmmConfig::from(config())), workload().trace(SEED))
+        .backend
+        .metrics();
+    assert_eq!(gmt.accesses, bam.accesses);
+    assert_eq!(gmt.accesses, hmm.accesses);
+    assert_eq!(gmt.t1_hits + gmt.t1_misses, bam.t1_hits + bam.t1_misses);
+    assert_eq!(gmt.t1_hits + gmt.t1_misses, hmm.t1_hits + hmm.t1_misses);
+}

@@ -6,7 +6,7 @@
 
 use gmt::analysis::{characterize, Characterization};
 use gmt::mem::{Tier, TierGeometry};
-use gmt::workloads::{suite, Workload, WorkloadScale};
+use gmt::workloads::{suite, WorkloadScale};
 
 fn profiles() -> &'static Vec<Characterization> {
     static PROFILES: std::sync::OnceLock<Vec<Characterization>> = std::sync::OnceLock::new();
@@ -59,7 +59,11 @@ fn multivectoradd_is_purely_medium_reuse() {
         "MVA bias {:?}",
         c.tier_bias
     );
-    assert!(c.reuse_pct > 0.1 && c.reuse_pct < 0.4, "MVA reuse {}", c.reuse_pct);
+    assert!(
+        c.reuse_pct > 0.1 && c.reuse_pct < 0.4,
+        "MVA reuse {}",
+        c.reuse_pct
+    );
 }
 
 #[test]

@@ -1,0 +1,204 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Implements the reading (`Buf` on `&[u8]`) and writing (`BufMut` on
+//! `BytesMut`) surface the binary trace codec uses, with `Bytes` as a
+//! plain owned byte vector behind `Deref<Target = [u8]>`. Upstream's
+//! refcounted zero-copy slicing is not reproduced — the codec only ever
+//! builds a buffer once and reads it through `&[u8]`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `dst.len()` bytes into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// An immutable owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Vec::new())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(data.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_slice(b"hdr");
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u64_le(0xDEAD_BEEF_CAFE_F00D);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 3 + 1 + 2 + 8);
+
+        let mut cursor: &[u8] = &frozen;
+        let mut hdr = [0u8; 3];
+        cursor.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"hdr");
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16_le(), 0x1234);
+        assert_eq!(cursor.get_u64_le(), 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u64_le();
+    }
+}

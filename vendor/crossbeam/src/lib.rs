@@ -1,0 +1,71 @@
+//! Offline vendored stand-in for the `crossbeam` facade crate.
+//!
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is used in
+//! this workspace (one GPU→CPU sample queue); std's mpsc channel has the
+//! same semantics for a single-producer pipeline, so the stub wraps it.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (`crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned when the receiving half has disconnected.
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Returns a pending message without blocking, if any.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn roundtrip_and_disconnect() {
+            let (tx, rx) = super::unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 7);
+            drop(rx);
+            assert!(tx.send(8).is_err());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline vendored stand-in for `parking_lot`.
+//!
+//! Provides `Mutex` with parking_lot's panic-free `lock()` signature,
+//! backed by `std::sync::Mutex` with poison recovery (a poisoned lock
+//! yields the inner data, matching parking_lot's no-poisoning model).
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// A mutex whose `lock()` returns the guard directly (no `Result`).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(StdMutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(StdMutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning like parking_lot does.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1u32);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+}

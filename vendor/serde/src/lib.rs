@@ -1,0 +1,19 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace's types derive `Serialize`/`Deserialize` for API
+//! completeness, but all actual export formats (trace JSONL/CSV, figure
+//! tables) are hand-rolled, so nothing ever calls serde machinery. This
+//! stub provides blanket-implemented marker traits and no-op derive
+//! macros so the annotations compile without network access to crates.io.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its public types for API
+//! completeness but never performs serde-based serialization (export
+//! paths hand-roll JSONL/CSV), so in the offline build the derives can
+//! expand to nothing. The blanket impls live in the `serde` stub crate.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
