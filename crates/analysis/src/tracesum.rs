@@ -349,6 +349,114 @@ pub fn queue_depth_percentiles(records: &[TraceRecord], percentiles: &[f64]) -> 
         .collect()
 }
 
+/// Per-tenant view of a multi-tenant trace stream.
+///
+/// Built by [`tenant_summaries`] from records stamped with a tenant id
+/// (the serving runtime's `TraceSink::set_tenant`). Untagged records —
+/// single-tenant runs, or device events emitted outside any tenant's
+/// access — are not attributed to anyone.
+#[derive(Debug, Clone)]
+pub struct TenantTraceSummary {
+    /// The tenant the records were stamped with.
+    pub tenant: u32,
+    /// Decision counters over this tenant's records.
+    pub counters: TraceCounters,
+    /// Service latency of every Tier-1 fill this tenant triggered
+    /// (`ready_ns` minus the miss's wall time), sorted ascending.
+    pub miss_service_ns: Vec<u64>,
+}
+
+impl TenantTraceSummary {
+    /// Tier-1 hit rate over this tenant's page touches.
+    pub fn t1_hit_rate(&self) -> f64 {
+        let touches = self.counters.t1_hits + self.counters.t1_misses;
+        if touches == 0 {
+            0.0
+        } else {
+            self.counters.t1_hits as f64 / touches as f64
+        }
+    }
+
+    /// Nearest-rank percentile of this tenant's miss-service latency,
+    /// or `None` if every access hit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn miss_service_percentile(&self, p: f64) -> Option<u64> {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "percentile {p} outside [0, 100]"
+        );
+        if self.miss_service_ns.is_empty() {
+            return None;
+        }
+        let n = self.miss_service_ns.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.miss_service_ns[rank.saturating_sub(1).min(n - 1)])
+    }
+}
+
+/// Splits a tenant-stamped stream into one summary per tenant, ordered
+/// by tenant id. Records without a tenant stamp are skipped.
+///
+/// Miss-service latency is taken from [`TraceEvent::Tier1Fill`]: the
+/// fill's `ready_ns` minus the record's wall time is exactly how long
+/// the faulting warp waited for its page.
+pub fn tenant_summaries(records: &[TraceRecord]) -> Vec<TenantTraceSummary> {
+    let mut by_tenant: std::collections::BTreeMap<u32, TenantTraceSummary> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        let Some(tenant) = r.tenant else {
+            continue;
+        };
+        let summary = by_tenant
+            .entry(tenant)
+            .or_insert_with(|| TenantTraceSummary {
+                tenant,
+                counters: TraceCounters::default(),
+                miss_service_ns: Vec::new(),
+            });
+        summary.counters.add(&r.event);
+        if let TraceEvent::Tier1Fill { ready_ns, .. } = r.event {
+            summary
+                .miss_service_ns
+                .push(ready_ns.saturating_sub(r.at.as_nanos()));
+        }
+    }
+    let mut out: Vec<TenantTraceSummary> = by_tenant.into_values().collect();
+    for s in &mut out {
+        s.miss_service_ns.sort_unstable();
+    }
+    out
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over per-tenant allocations.
+///
+/// 1.0 means every tenant receives the same share; `1/n` means one
+/// tenant receives everything. Conventionally 1.0 when every allocation
+/// is zero (nobody is favoured) and 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_analysis::tracesum::jain_fairness;
+/// assert_eq!(jain_fairness(&[1.0, 1.0, 1.0]), 1.0);
+/// assert_eq!(jain_fairness(&[1.0, 0.0]), 0.5);
+/// assert_eq!(jain_fairness(&[]), 0.0);
+/// ```
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
 /// Prediction accuracy per window: `(window start ns, graded, accuracy)`
 /// for every window that graded at least one prediction.
 ///
@@ -377,6 +485,7 @@ mod tests {
         TraceRecord {
             at: Time::from_nanos(t),
             vt: 0,
+            tenant: None,
             event,
         }
     }
@@ -494,6 +603,89 @@ mod tests {
         let p = queue_depth_percentiles(&records, &[50.0, 99.0, 100.0]);
         assert_eq!(p, vec![50, 99, 100]);
         assert!(queue_depth_percentiles(&[], &[50.0]).is_empty());
+    }
+
+    fn tenant_rec(t: u64, tenant: u32, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: Time::from_nanos(t),
+            vt: 0,
+            tenant: Some(tenant),
+            event,
+        }
+    }
+
+    #[test]
+    fn tenant_summaries_split_by_stamp_and_skip_untagged() {
+        let records = vec![
+            tenant_rec(1, 0, TraceEvent::Tier1Hit { page: 0 }),
+            tenant_rec(
+                2,
+                1,
+                TraceEvent::Tier1Miss {
+                    page: 7,
+                    resident: TierTag::Ssd,
+                },
+            ),
+            tenant_rec(
+                2,
+                1,
+                TraceEvent::Tier1Fill {
+                    page: 7,
+                    source: TierTag::Ssd,
+                    ready_ns: 1_502,
+                },
+            ),
+            tenant_rec(9, 0, TraceEvent::Tier1Hit { page: 1 }),
+            rec(10, TraceEvent::Tier1Hit { page: 2 }),
+        ];
+        let summaries = tenant_summaries(&records);
+        assert_eq!(summaries.len(), 2, "untagged record must not be a tenant");
+        assert_eq!(summaries[0].tenant, 0);
+        assert_eq!(summaries[0].counters.t1_hits, 2);
+        assert_eq!(summaries[0].t1_hit_rate(), 1.0);
+        assert_eq!(summaries[0].miss_service_percentile(99.0), None);
+        assert_eq!(summaries[1].tenant, 1);
+        assert_eq!(summaries[1].counters.t1_misses, 1);
+        assert_eq!(summaries[1].miss_service_ns, vec![1_500]);
+        assert_eq!(summaries[1].miss_service_percentile(50.0), Some(1_500));
+    }
+
+    #[test]
+    fn tenant_counters_sum_to_the_global_aggregate() {
+        let records = vec![
+            tenant_rec(1, 0, TraceEvent::Tier1Hit { page: 0 }),
+            tenant_rec(
+                2,
+                1,
+                TraceEvent::Tier1Miss {
+                    page: 7,
+                    resident: TierTag::Ssd,
+                },
+            ),
+            tenant_rec(3, 2, TraceEvent::Tier1Hit { page: 3 }),
+            tenant_rec(4, 1, TraceEvent::Tier1Hit { page: 7 }),
+        ];
+        let total = counters_from_trace(&records);
+        let summaries = tenant_summaries(&records);
+        let (hits, misses) = summaries.iter().fold((0, 0), |(h, m), s| {
+            (h + s.counters.t1_hits, m + s.counters.t1_misses)
+        });
+        assert_eq!(hits, total.t1_hits);
+        assert_eq!(misses, total.t1_misses);
+    }
+
+    #[test]
+    fn jain_fairness_brackets() {
+        assert_eq!(jain_fairness(&[5.0, 5.0, 5.0, 5.0]), 1.0);
+        let skewed = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "one-taker index is 1/n");
+        assert_eq!(
+            jain_fairness(&[0.0, 0.0]),
+            1.0,
+            "all-zero is trivially fair"
+        );
+        let mid = jain_fairness(&[4.0, 2.0]);
+        assert!(mid > 0.25 && mid < 1.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use gmt_mem::TierGeometry;
 use gmt_pcie::{HostLinkConfig, TransferMethod};
 use gmt_ssd::SsdConfig;
 
-use crate::{Gmt, GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
+use crate::{ConfigError, Gmt, GmtConfig, MarkovScope, PolicyKind, PredictorKind, Tier2Insert};
 
 /// A non-consuming builder for [`Gmt`] (and for the underlying
 /// [`GmtConfig`], when only the configuration is needed).
@@ -119,9 +119,44 @@ impl GmtBuilder {
         self.config
     }
 
-    /// Builds the runtime.
+    /// Builds the runtime, validating the configuration first.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ConfigError`]'s message if the accumulated
+    /// configuration is degenerate; use [`GmtBuilder::try_build`] to
+    /// handle the error instead.
     pub fn build(&self) -> Gmt {
-        Gmt::new(self.config)
+        match self.try_build() {
+            Ok(gmt) => gmt,
+            Err(err) => panic!("invalid GMT configuration: {err}"),
+        }
+    }
+
+    /// Builds the runtime, returning the validation error on a
+    /// degenerate configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] that
+    /// [`GmtConfig::validate`] finds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gmt_core::{ConfigError, GmtBuilder};
+    /// use gmt_mem::TierGeometry;
+    ///
+    /// let mut builder = GmtBuilder::new(TierGeometry::from_tier1(16, 4.0, 2.0));
+    /// builder.bypass_threshold(1.5);
+    /// assert!(matches!(
+    ///     builder.try_build(),
+    ///     Err(ConfigError::BypassThresholdOutOfRange { .. })
+    /// ));
+    /// ```
+    pub fn try_build(&self) -> Result<Gmt, ConfigError> {
+        self.config.validate()?;
+        Ok(Gmt::new(self.config))
     }
 }
 

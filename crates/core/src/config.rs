@@ -119,6 +119,73 @@ impl Default for ReuseConfig {
     }
 }
 
+/// A degenerate configuration caught by [`GmtConfig::validate`].
+///
+/// Each variant names the offending knob and carries the rejected value,
+/// so a bad `GMT_T1_PAGES` surfaces as a one-line message instead of a
+/// panic deep inside the manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// Tier-1 has zero pages.
+    ZeroTier1,
+    /// Tier-2 has zero pages.
+    ZeroTier2,
+    /// The address space holds zero pages.
+    ZeroAddressSpace,
+    /// Pages are zero bytes long.
+    ZeroPageBytes,
+    /// The sequential prefetch degree is at least the whole of Tier-1,
+    /// so a single demand fetch would evict every resident page.
+    PrefetchOverflowsTier1 {
+        /// Configured prefetch degree.
+        degree: usize,
+        /// Tier-1 capacity in pages.
+        tier1_pages: usize,
+    },
+    /// The §2.2 bypass threshold is outside `[0, 1]` (0–100 %).
+    BypassThresholdOutOfRange {
+        /// Configured threshold.
+        threshold: f64,
+    },
+    /// The bypass window measures the Tier-3 fraction over zero evictions.
+    ZeroBypassWindow,
+    /// Tier-3 is striped over zero SSD devices.
+    ZeroSsdDevices,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroTier1 => write!(f, "tier-1 must hold at least one page"),
+            ConfigError::ZeroTier2 => write!(f, "tier-2 must hold at least one page"),
+            ConfigError::ZeroAddressSpace => {
+                write!(f, "the address space must hold at least one page")
+            }
+            ConfigError::ZeroPageBytes => write!(f, "pages must be at least one byte"),
+            ConfigError::PrefetchOverflowsTier1 {
+                degree,
+                tier1_pages,
+            } => write!(
+                f,
+                "prefetch degree {degree} would churn the whole of tier-1 \
+                 ({tier1_pages} pages) on every demand fetch"
+            ),
+            ConfigError::BypassThresholdOutOfRange { threshold } => write!(
+                f,
+                "bypass threshold {threshold} is outside [0, 1] (0-100 %)"
+            ),
+            ConfigError::ZeroBypassWindow => {
+                write!(f, "the bypass window must cover at least one eviction")
+            }
+            ConfigError::ZeroSsdDevices => {
+                write!(f, "tier-3 must stripe over at least one SSD device")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full configuration of a [`crate::Gmt`] instance.
 ///
 /// # Examples
@@ -193,6 +260,67 @@ impl GmtConfig {
         self
     }
 
+    /// Rejects degenerate configurations before they can panic deep in
+    /// the manager: zero-capacity tiers or pages, a prefetch degree that
+    /// would churn all of Tier-1 per fetch, and out-of-range GMT-Reuse
+    /// bypass knobs.
+    ///
+    /// [`GmtBuilder::build`](crate::GmtBuilder::build) and
+    /// [`Gmt::new`](crate::Gmt::new) call this and panic with the error's
+    /// message; fallible callers (CLIs parsing `GMT_T1_PAGES`, services
+    /// admitting tenant configs) should call it directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gmt_core::{ConfigError, GmtConfig};
+    /// use gmt_mem::TierGeometry;
+    ///
+    /// let mut config = GmtConfig::new(TierGeometry::from_tier1(64, 4.0, 2.0));
+    /// assert!(config.validate().is_ok());
+    /// config.prefetch_degree = 64;
+    /// assert!(matches!(
+    ///     config.validate(),
+    ///     Err(ConfigError::PrefetchOverflowsTier1 { .. })
+    /// ));
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let g = &self.geometry;
+        if g.tier1_pages == 0 {
+            return Err(ConfigError::ZeroTier1);
+        }
+        if g.tier2_pages == 0 {
+            return Err(ConfigError::ZeroTier2);
+        }
+        if g.total_pages == 0 {
+            return Err(ConfigError::ZeroAddressSpace);
+        }
+        if g.page_bytes == 0 {
+            return Err(ConfigError::ZeroPageBytes);
+        }
+        if self.prefetch_degree >= g.tier1_pages {
+            return Err(ConfigError::PrefetchOverflowsTier1 {
+                degree: self.prefetch_degree,
+                tier1_pages: g.tier1_pages,
+            });
+        }
+        let threshold = self.reuse.bypass_threshold;
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(ConfigError::BypassThresholdOutOfRange { threshold });
+        }
+        if self.reuse.bypass_window == 0 {
+            return Err(ConfigError::ZeroBypassWindow);
+        }
+        if self.ssd_devices == 0 {
+            return Err(ConfigError::ZeroSsdDevices);
+        }
+        Ok(())
+    }
+
     /// The effective Tier-2 insertion mode (resolving the per-policy
     /// default).
     pub fn effective_tier2_insert(&self) -> Tier2Insert {
@@ -241,6 +369,65 @@ mod tests {
             ..GmtConfig::default()
         };
         assert_eq!(c.effective_tier2_insert(), Tier2Insert::EvictFifo);
+    }
+
+    #[test]
+    fn validate_accepts_the_defaults_and_names_each_degeneracy() {
+        use gmt_mem::TierGeometry;
+        assert_eq!(GmtConfig::default().validate(), Ok(()));
+
+        let mut zero_t1 = GmtConfig::default();
+        zero_t1.geometry.tier1_pages = 0;
+        assert_eq!(zero_t1.validate(), Err(ConfigError::ZeroTier1));
+
+        let mut zero_t2 = GmtConfig::default();
+        zero_t2.geometry.tier2_pages = 0;
+        assert_eq!(zero_t2.validate(), Err(ConfigError::ZeroTier2));
+
+        let mut prefetch = GmtConfig::new(TierGeometry::from_tier1(8, 2.0, 2.0));
+        prefetch.prefetch_degree = 8;
+        assert!(matches!(
+            prefetch.validate(),
+            Err(ConfigError::PrefetchOverflowsTier1 {
+                degree: 8,
+                tier1_pages: 8
+            })
+        ));
+        prefetch.prefetch_degree = 7;
+        assert_eq!(prefetch.validate(), Ok(()));
+
+        for bad in [-0.1, 1.1, f64::NAN] {
+            let mut config = GmtConfig::default();
+            config.reuse.bypass_threshold = bad;
+            assert!(
+                matches!(
+                    config.validate(),
+                    Err(ConfigError::BypassThresholdOutOfRange { .. })
+                ),
+                "threshold {bad} must be rejected"
+            );
+        }
+
+        let mut window = GmtConfig::default();
+        window.reuse.bypass_window = 0;
+        assert_eq!(window.validate(), Err(ConfigError::ZeroBypassWindow));
+
+        let devices = GmtConfig {
+            ssd_devices: 0,
+            ..GmtConfig::default()
+        };
+        assert_eq!(devices.validate(), Err(ConfigError::ZeroSsdDevices));
+    }
+
+    #[test]
+    fn config_errors_render_readable_messages() {
+        let err = ConfigError::PrefetchOverflowsTier1 {
+            degree: 9,
+            tier1_pages: 4,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('9') && msg.contains('4'), "{msg}");
+        assert!(ConfigError::ZeroTier1.to_string().contains("tier-1"));
     }
 
     #[test]

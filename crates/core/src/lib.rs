@@ -31,6 +31,8 @@ mod metrics;
 mod tier2;
 
 pub use builder::GmtBuilder;
-pub use config::{GmtConfig, MarkovScope, PolicyKind, PredictorKind, ReuseConfig, Tier2Insert};
+pub use config::{
+    ConfigError, GmtConfig, MarkovScope, PolicyKind, PredictorKind, ReuseConfig, Tier2Insert,
+};
 pub use manager::{Gmt, LatencyBreakdown, TierSnapshot};
 pub use metrics::TieringMetrics;

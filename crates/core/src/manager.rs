@@ -184,8 +184,15 @@ impl Gmt {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry has zero-capacity tiers.
+    /// Panics with the [`crate::ConfigError`]'s message if
+    /// [`GmtConfig::validate`] rejects `config` (zero-capacity tiers,
+    /// prefetch degree overflowing Tier-1, out-of-range bypass
+    /// threshold, ...). Use [`crate::GmtBuilder::try_build`] to handle
+    /// the error instead.
     pub fn new(config: GmtConfig) -> Gmt {
+        if let Err(err) = config.validate() {
+            panic!("invalid GMT configuration: {err}");
+        }
         let g = &config.geometry;
         // One root RNG seeds every stochastic component: child streams are
         // drawn from it (always, so the root stream does not depend on
@@ -1040,7 +1047,7 @@ mod tests {
     fn prefetch_stops_at_the_address_space_edge() {
         let geometry = TierGeometry::from_tier1(8, 2.0, 2.0);
         let mut config = GmtConfig::new(geometry);
-        config.prefetch_degree = 16;
+        config.prefetch_degree = 7;
         let mut gmt = Gmt::new(config);
         // Touch the last page: prefetch targets beyond the space must be
         // ignored without panicking.

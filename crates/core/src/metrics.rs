@@ -102,6 +102,61 @@ impl TieringMetrics {
     pub fn tier12_transfers(&self) -> u64 {
         self.t2_placements + self.t2_hits
     }
+
+    /// Adds every counter of `other` into `self`.
+    ///
+    /// Multi-tenant runtimes keep one `TieringMetrics` per tenant;
+    /// merging them all reconstitutes the hierarchy-wide aggregate, so
+    /// per-tenant accounting loses nothing relative to a single global
+    /// bookkeeper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gmt_core::TieringMetrics;
+    /// let mut total = TieringMetrics { t1_hits: 1, ..TieringMetrics::default() };
+    /// total.merge(&TieringMetrics { t1_hits: 2, t1_misses: 1, ..TieringMetrics::default() });
+    /// assert_eq!(total.t1_hits, 3);
+    /// assert_eq!(total.t1_misses, 1);
+    /// ```
+    pub fn merge(&mut self, other: &TieringMetrics) {
+        let TieringMetrics {
+            accesses,
+            t1_hits,
+            t1_misses,
+            t2_hits,
+            wasteful_lookups,
+            ssd_reads,
+            ssd_writes,
+            t1_evictions,
+            t2_placements,
+            discards,
+            t2_writebacks,
+            t2_drops,
+            short_reuse_keeps,
+            forced_t2_placements,
+            prefetches,
+            predictions,
+            predictions_correct,
+        } = other;
+        self.accesses += accesses;
+        self.t1_hits += t1_hits;
+        self.t1_misses += t1_misses;
+        self.t2_hits += t2_hits;
+        self.wasteful_lookups += wasteful_lookups;
+        self.ssd_reads += ssd_reads;
+        self.ssd_writes += ssd_writes;
+        self.t1_evictions += t1_evictions;
+        self.t2_placements += t2_placements;
+        self.discards += discards;
+        self.t2_writebacks += t2_writebacks;
+        self.t2_drops += t2_drops;
+        self.short_reuse_keeps += short_reuse_keeps;
+        self.forced_t2_placements += forced_t2_placements;
+        self.prefetches += prefetches;
+        self.predictions += predictions;
+        self.predictions_correct += predictions_correct;
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -140,6 +195,39 @@ mod tests {
         assert_eq!(m.t2_hit_rate(), 0.4);
         assert_eq!(m.wasteful_lookup_rate(), 0.6);
         assert_eq!(m.prediction_accuracy(), 0.9);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = TieringMetrics {
+            accesses: 1,
+            t1_hits: 2,
+            t1_misses: 3,
+            t2_hits: 4,
+            wasteful_lookups: 5,
+            ssd_reads: 6,
+            ssd_writes: 7,
+            t1_evictions: 8,
+            t2_placements: 9,
+            discards: 10,
+            t2_writebacks: 11,
+            t2_drops: 12,
+            short_reuse_keeps: 13,
+            forced_t2_placements: 14,
+            prefetches: 15,
+            predictions: 16,
+            predictions_correct: 17,
+        };
+        let mut merged = a;
+        merged.merge(&a);
+        assert_eq!(merged.accesses, 2);
+        assert_eq!(merged.t1_hits, 4);
+        assert_eq!(merged.wasteful_lookups, 10);
+        assert_eq!(merged.short_reuse_keeps, 26);
+        assert_eq!(merged.predictions_correct, 34);
+        let mut identity = TieringMetrics::default();
+        identity.merge(&a);
+        assert_eq!(identity, a, "merging into zero is the identity");
     }
 
     #[test]

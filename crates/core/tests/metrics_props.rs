@@ -1,0 +1,121 @@
+//! Property tests for [`TieringMetrics`]: every derived rate must stay
+//! finite (never NaN, never a panic) on arbitrary counter values,
+//! including the zero-access / zero-prediction edges, and `merge` must
+//! behave like element-wise addition.
+
+use gmt_core::TieringMetrics;
+use proptest::prelude::*;
+
+/// Counters capped so sums like `t1_hits + t1_misses` cannot overflow.
+fn counter() -> impl Strategy<Value = u64> {
+    0..u64::MAX / 8
+}
+
+fn metrics() -> impl Strategy<Value = TieringMetrics> {
+    (
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+        (counter(), counter(), counter(), counter(), counter()),
+    )
+        .prop_map(|(a, b, c)| TieringMetrics {
+            accesses: a.0,
+            t1_hits: a.1,
+            t1_misses: a.2,
+            t2_hits: a.3,
+            wasteful_lookups: a.4,
+            ssd_reads: a.5,
+            ssd_writes: b.0,
+            t1_evictions: b.1,
+            t2_placements: b.2,
+            discards: b.3,
+            t2_writebacks: b.4,
+            t2_drops: b.5,
+            short_reuse_keeps: c.0,
+            forced_t2_placements: c.1,
+            prefetches: c.2,
+            predictions: c.3,
+            predictions_correct: c.4,
+        })
+}
+
+proptest! {
+    #[test]
+    fn rates_are_finite_on_arbitrary_counters(m in metrics()) {
+        for rate in [
+            m.t1_hit_rate(),
+            m.t2_hit_rate(),
+            m.wasteful_lookup_rate(),
+            m.prediction_accuracy(),
+        ] {
+            prop_assert!(rate.is_finite(), "rate {rate} is not finite for {m:?}");
+            prop_assert!(rate >= 0.0);
+        }
+    }
+
+    // The zero-denominator edges specifically: zeroing the fields a
+    // rate divides by must yield 0.0, not NaN or a panic.
+    #[test]
+    fn zero_denominators_yield_zero(m in metrics()) {
+        let no_touches = TieringMetrics { t1_hits: 0, t1_misses: 0, ..m };
+        prop_assert_eq!(no_touches.t1_hit_rate(), 0.0);
+        let no_misses = TieringMetrics { t1_misses: 0, ..m };
+        prop_assert_eq!(no_misses.t2_hit_rate(), 0.0);
+        prop_assert_eq!(no_misses.wasteful_lookup_rate(), 0.0);
+        let no_predictions = TieringMetrics { predictions: 0, ..m };
+        prop_assert_eq!(no_predictions.prediction_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn rates_with_nonzero_denominators_land_in_unit_interval(
+        hits in counter(),
+        misses in 1..u64::MAX / 8,
+        predictions in 1..u64::MAX / 8,
+    ) {
+        let m = TieringMetrics {
+            t1_hits: hits,
+            t1_misses: misses,
+            t2_hits: hits.min(misses),
+            wasteful_lookups: misses - hits.min(misses),
+            predictions,
+            predictions_correct: hits.min(predictions),
+            ..TieringMetrics::default()
+        };
+        prop_assert!((0.0..=1.0).contains(&m.t1_hit_rate()));
+        prop_assert!((0.0..=1.0).contains(&m.t2_hit_rate()));
+        prop_assert!((0.0..=1.0).contains(&m.wasteful_lookup_rate()));
+        prop_assert!((0.0..=1.0).contains(&m.prediction_accuracy()));
+    }
+
+    // `merge` is element-wise addition: zero is its identity and the
+    // derived totals of a merge match the sums of the parts.
+    #[test]
+    fn merge_acts_like_addition(a in metrics(), b in metrics()) {
+        let mut left = a;
+        left.merge(&b);
+        let mut right = b;
+        right.merge(&a);
+        prop_assert_eq!(left, right, "merge must commute");
+        prop_assert_eq!(left.ssd_ios(), a.ssd_ios() + b.ssd_ios());
+        prop_assert_eq!(
+            left.tier12_transfers(),
+            a.tier12_transfers() + b.tier12_transfers()
+        );
+        let mut with_zero = a;
+        with_zero.merge(&TieringMetrics::default());
+        prop_assert_eq!(with_zero, a, "zero is the merge identity");
+    }
+}

@@ -163,6 +163,75 @@ impl Executor {
             backend,
         }
     }
+
+    /// Replays an *open-arrival* trace: each access carries the wall
+    /// time at which its work arrives, and issues at the later of that
+    /// arrival and the earliest-ready warp slot.
+    ///
+    /// This is the serving-system counterpart of [`Executor::run`]
+    /// (which models a closed loop where warps re-issue as fast as the
+    /// backend allows): under open arrivals an idle stretch really
+    /// leaves the hierarchy idle, and a burst really queues. Arrival
+    /// times must be non-decreasing; interleaved multi-tenant schedules
+    /// should be merged before being handed here.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gmt_gpu::{Executor, ExecutorConfig, MemoryBackend};
+    /// use gmt_mem::{PageId, WarpAccess};
+    /// use gmt_sim::{Dur, Time};
+    ///
+    /// struct Instant;
+    /// impl MemoryBackend for Instant {
+    ///     fn access(&mut self, now: Time, _a: &WarpAccess) -> Time {
+    ///         now
+    ///     }
+    /// }
+    ///
+    /// // One access arriving 5 us in: the run lasts until its arrival.
+    /// let exec = Executor::new(ExecutorConfig::default());
+    /// let at = Time::ZERO + Dur::from_micros(5);
+    /// let out = exec.run_arrivals(Instant, [(at, WarpAccess::read(PageId(0)))]);
+    /// assert!(out.elapsed >= Dur::from_micros(5));
+    /// ```
+    pub fn run_arrivals<B, I>(&self, mut backend: B, trace: I) -> RunOutcome<B>
+    where
+        B: MemoryBackend,
+        I: IntoIterator<Item = (Time, WarpAccess)>,
+    {
+        let mut warps: BinaryHeap<Reverse<Time>> = (0..self.config.warp_slots)
+            .map(|_| Reverse(Time::ZERO))
+            .collect();
+        let mut accesses = 0u64;
+        let mut horizon = Time::ZERO;
+        for (arrival, access) in trace {
+            let Reverse(ready) = warps.pop().expect("warp heap is never empty");
+            let issue = ready.max(arrival);
+            if self.trace.is_enabled() {
+                if let Some(page) = access.pages.iter().next() {
+                    self.trace.emit(
+                        issue,
+                        TraceEvent::WarpAccess {
+                            page: page.0,
+                            write: access.write,
+                        },
+                    );
+                }
+            }
+            let data_ready = backend.access(issue, &access);
+            let next_issue = data_ready + self.config.compute_per_access;
+            horizon = horizon.max(next_issue);
+            warps.push(Reverse(next_issue));
+            accesses += 1;
+        }
+        let done = backend.finish(horizon);
+        RunOutcome {
+            elapsed: done.since(Time::ZERO),
+            accesses,
+            backend,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +305,40 @@ mod tests {
             Executor::new(ExecutorConfig::default()).run(Fixed(Dur::from_micros(1)), trace(0));
         assert_eq!(out.elapsed, Dur::ZERO);
         assert_eq!(out.accesses, 0);
+    }
+
+    #[test]
+    fn arrivals_gate_issue_times() {
+        // One warp, zero-cost backend: accesses 10 us apart finish at
+        // the last arrival, not back-to-back.
+        let cfg = ExecutorConfig {
+            warp_slots: 1,
+            compute_per_access: Dur::ZERO,
+        };
+        let schedule = (0..5).map(|i| {
+            (
+                Time::ZERO + Dur::from_micros(10 * i),
+                WarpAccess::read(PageId(i)),
+            )
+        });
+        let out = Executor::new(cfg).run_arrivals(Fixed(Dur::ZERO), schedule);
+        assert_eq!(out.elapsed, Dur::from_micros(40));
+        assert_eq!(out.accesses, 5);
+    }
+
+    #[test]
+    fn arrivals_in_the_past_queue_like_closed_loop() {
+        // Everything arrives at t=0: run_arrivals degenerates to run.
+        let cfg = ExecutorConfig {
+            warp_slots: 1,
+            compute_per_access: Dur::ZERO,
+        };
+        let closed = Executor::new(cfg).run(Fixed(Dur::from_micros(1)), trace(10));
+        let open = Executor::new(cfg).run_arrivals(
+            Fixed(Dur::from_micros(1)),
+            trace(10).map(|a| (Time::ZERO, a)),
+        );
+        assert_eq!(open.elapsed, closed.elapsed);
     }
 
     #[test]

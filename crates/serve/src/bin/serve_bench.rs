@@ -1,0 +1,196 @@
+//! Multi-tenant serving sweep: tenant count × Tier-1 partitioning.
+//!
+//! Two experiments, both fully deterministic (seeded workloads, seeded
+//! arrivals):
+//!
+//! 1. **Isolation**: a cache-friendly Zipf tenant runs solo, then
+//!    paired with an antagonistic sequential-scan tenant under each
+//!    partitioning policy. Strict quotas and QoS floors must keep the
+//!    Zipf tenant's Tier-1 hit rate within 10 % of its solo run; the
+//!    fully-shared baseline shows the interference they prevent.
+//! 2. **Scaling**: 1/2/4/8 Zipf tenants × every policy, reporting each
+//!    tenant's hit rate, p50/p99 miss-service latency and the Jain
+//!    fairness index.
+//!
+//! Usage: `serve_bench [--quick]` (`--quick` shrinks the sweep for CI).
+
+use gmt_core::GmtConfig;
+use gmt_gpu::ExecutorConfig;
+use gmt_mem::TierGeometry;
+use gmt_serve::{
+    ArrivalSchedule, PartitionPolicy, ServeConfig, ServeOutcome, TenantRegistry, TenantSpec,
+    TieredService,
+};
+use gmt_workloads::synthetic::{SequentialScan, ZipfLoop};
+use gmt_workloads::WorkloadScale;
+
+/// Tier-1 capacity the experiments contend for, in pages.
+const TIER1_PAGES: usize = 256;
+/// Trace ring large enough for the biggest run in the sweep.
+const TRACE_CAPACITY: usize = 1 << 22;
+
+fn geometry() -> TierGeometry {
+    // Tier-2 2× Tier-1, address space 1536 pages — covers the scan
+    // tenant's 1024-page stream plus every Zipf tenant's range.
+    TierGeometry::from_tier1(TIER1_PAGES, 2.0, 2.0)
+}
+
+/// The protagonist: a skewed loop whose 192-page working set exactly
+/// fits its strict quota (and fits Tier-1 solo with room to spare), so
+/// any policy that shields it should serve it almost entirely from
+/// Tier-1 once warm.
+fn zipf_tenant(name: &str, accesses: usize, seed: u64) -> TenantSpec {
+    TenantSpec {
+        name: name.into(),
+        workload: Box::new(ZipfLoop::new(
+            &WorkloadScale::pages(192),
+            1.0,
+            0.05,
+            accesses,
+        )),
+        arrival: ArrivalSchedule::Poisson { mean_gap_ns: 4_000 },
+        quota_pages: 192,
+        weight: 3,
+        floor_pages: 184,
+        seed,
+    }
+}
+
+/// The antagonist: a 1024-page sequential scan with zero reuse,
+/// arriving in dense bursts — the access pattern that flushes a shared
+/// Tier-1.
+fn scan_tenant(passes: usize, seed: u64) -> TenantSpec {
+    TenantSpec {
+        name: "scan".into(),
+        workload: Box::new(SequentialScan::new(&WorkloadScale::pages(1_024), passes)),
+        arrival: ArrivalSchedule::Bursty {
+            burst: 64,
+            gap_ns: 100,
+            idle_ns: 5_000,
+        },
+        quota_pages: 64,
+        weight: 1,
+        floor_pages: 16,
+        seed,
+    }
+}
+
+fn run(policy: PartitionPolicy, specs: Vec<TenantSpec>) -> ServeOutcome {
+    let mut registry = TenantRegistry::new(TIER1_PAGES, policy);
+    for spec in specs {
+        registry.admit(spec).expect("bench tenants always fit");
+    }
+    let config = ServeConfig {
+        gmt: GmtConfig::new(geometry()),
+        partition: policy,
+    };
+    let service = TieredService::new(&config, registry).expect("bench config is valid");
+    service.serve(ExecutorConfig::default(), TRACE_CAPACITY)
+}
+
+fn isolation_experiment(zipf_accesses: usize, scan_passes: usize) {
+    println!("== isolation: zipf tenant vs. sequential-scan antagonist ==");
+    let solo = run(
+        PartitionPolicy::FullyShared,
+        vec![zipf_tenant("zipf", zipf_accesses, 11)],
+    );
+    let solo_rate = solo.report.tenant("zipf").expect("zipf ran").t1_hit_rate;
+    println!(
+        "solo zipf (whole tier-1 to itself): hit rate {:.2}%",
+        100.0 * solo_rate
+    );
+
+    let mut shielded_ok = true;
+    let mut drops = Vec::new();
+    for policy in PartitionPolicy::ALL {
+        let out = run(
+            policy,
+            vec![
+                zipf_tenant("zipf", zipf_accesses, 11),
+                scan_tenant(scan_passes, 23),
+            ],
+        );
+        let zipf = out.report.tenant("zipf").expect("zipf ran");
+        let drop = solo_rate - zipf.t1_hit_rate;
+        println!(
+            "\n[{policy}] elapsed {:.2} ms, jain {:.4}, zipf hit-rate drop vs solo {:+.2} pp",
+            out.elapsed.as_nanos() as f64 / 1e6,
+            out.report.jain_hit_rate,
+            100.0 * drop
+        );
+        println!("{}", out.report);
+        drops.push((policy, drop));
+        let shielded = matches!(
+            policy,
+            PartitionPolicy::StrictQuota | PartitionPolicy::SharedQos
+        );
+        if shielded && drop > 0.10 * solo_rate {
+            shielded_ok = false;
+            eprintln!(
+                "FAIL: {policy} let the scan degrade zipf by {:.2}% (> 10% of solo)",
+                100.0 * drop / solo_rate
+            );
+        }
+    }
+    let drop_of = |policy: PartitionPolicy| {
+        drops
+            .iter()
+            .find(|(p, _)| *p == policy)
+            .map(|(_, d)| *d)
+            .unwrap()
+    };
+    let strict_drop = drop_of(PartitionPolicy::StrictQuota);
+    let qos_drop = drop_of(PartitionPolicy::SharedQos);
+    let shared_drop = drop_of(PartitionPolicy::FullyShared);
+    println!(
+        "\nfully-shared interference {:.2} pp vs strict-quota {:.2} pp, shared-qos {:.2} pp",
+        100.0 * shared_drop,
+        100.0 * strict_drop,
+        100.0 * qos_drop
+    );
+    assert!(shielded_ok, "isolation acceptance failed");
+    assert!(
+        shared_drop > strict_drop && shared_drop > 1.5 * qos_drop && shared_drop > 0.03,
+        "fully-shared should show marked interference the shielded policies prevent \
+         (shared {shared_drop:.4}, strict {strict_drop:.4}, qos {qos_drop:.4})"
+    );
+}
+
+fn scaling_experiment(counts: &[usize], accesses: usize) {
+    println!("\n== scaling: tenant count x partitioning policy ==");
+    for &n in counts {
+        for policy in PartitionPolicy::ALL {
+            let specs: Vec<TenantSpec> = (0..n)
+                .map(|i| {
+                    let mut spec = zipf_tenant(&format!("zipf{i}"), accesses, 100 + i as u64);
+                    // Divide the asks evenly so any count fits.
+                    spec.quota_pages = TIER1_PAGES / n;
+                    spec.floor_pages = TIER1_PAGES / (2 * n);
+                    spec.weight = 1;
+                    spec
+                })
+                .collect();
+            let out = run(policy, specs);
+            println!(
+                "\n[{n} tenants, {policy}] elapsed {:.2} ms, accesses {}",
+                out.elapsed.as_nanos() as f64 / 1e6,
+                out.accesses
+            );
+            println!("{}", out.report);
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // The scan's arrival stream is paced to span the Zipf tenant's whole
+    // window, so a shared clock feels its pressure end to end.
+    let (zipf_accesses, scan_passes) = if quick { (4_000, 88) } else { (12_000, 264) };
+    isolation_experiment(zipf_accesses, scan_passes);
+    if quick {
+        scaling_experiment(&[1, 4], 1_500);
+    } else {
+        scaling_experiment(&[1, 2, 4, 8], 3_000);
+    }
+    println!("\nserve_bench: all acceptance checks passed");
+}

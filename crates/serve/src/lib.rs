@@ -1,0 +1,50 @@
+//! Multi-tenant serving on one GMT hierarchy.
+//!
+//! The paper evaluates GMT one application at a time; a serving
+//! deployment instead multiplexes *N* tenant workload streams over a
+//! single tiered hierarchy, and the interesting questions become
+//! distributional: who gets the scarce Tier-1, whose misses queue
+//! behind whose SSD reads, and how badly can one tenant's scan degrade
+//! another tenant's working set. This crate builds that layer out of
+//! the existing substrate:
+//!
+//! * [`TenantRegistry`] — admission control: each [`TenantSpec`] asks
+//!   for a share of Tier-1 (plus an optional protected floor), and
+//!   admission fails up front when the asks are unsatisfiable under
+//!   the chosen [`PartitionPolicy`].
+//! * [`PartitionPolicy`] — how Tier-1 is split: strict per-tenant
+//!   quotas, weighted work-conserving shares, fully shared with
+//!   QoS-protected floors, or fully shared free-for-all.
+//! * [`ArrivalSchedule`] — deterministic seeded open-arrival load
+//!   generation (uniform, Poisson, bursty) per tenant; schedules are
+//!   merged into one interleaved stream and replayed through
+//!   [`gmt_gpu::Executor::run_arrivals`].
+//! * [`TieredService`] — the shared hierarchy itself: per-tenant
+//!   Tier-1 organization, one shared Tier-2, one shared SSD array and
+//!   PCIe links (contention is shared even when capacity is not), and
+//!   *per-tenant* reuse machinery so one tenant's access pattern never
+//!   poisons another's predictions.
+//! * [`ServeReport`] — per-tenant hit rates, miss-service latency
+//!   percentiles and the Jain fairness index, straight from the
+//!   tenant-stamped trace stream.
+//!
+//! The `serve_bench` binary sweeps tenant count × partitioning policy
+//! and demonstrates the isolation story: under [`PartitionPolicy::StrictQuota`]
+//! or QoS floors, a sequential-scan tenant cannot collapse a Zipf
+//! tenant's Tier-1 hit rate, while [`PartitionPolicy::FullyShared`]
+//! shows the interference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arrival;
+mod partition;
+mod report;
+mod runtime;
+mod tenant;
+
+pub use arrival::ArrivalSchedule;
+pub use partition::PartitionPolicy;
+pub use report::{ServeReport, TenantReport};
+pub use runtime::{ServeConfig, ServeOutcome, TieredService};
+pub use tenant::{AdmissionError, TenantId, TenantRegistry, TenantSpec};

@@ -1,0 +1,957 @@
+//! The shared tiered hierarchy serving every tenant.
+
+use std::collections::VecDeque;
+
+use gmt_core::{GmtConfig, PredictorKind, TieringMetrics};
+use gmt_gpu::{Executor, ExecutorConfig, MemoryBackend, RunOutcome};
+use gmt_mem::{ClockList, FifoCache, PageId, PageTable, Tier, WarpAccess};
+use gmt_pcie::{HostLink, TransferBatch};
+use gmt_reuse::{MarkovPredictor, PageHistory, SamplingRegression, TierClassifier};
+use gmt_sim::trace::{LinkDir, TierTag, TraceEvent, TraceSink};
+use gmt_sim::{Dur, Time};
+use gmt_ssd::array::{ArrayConfig, SsdArray};
+use gmt_ssd::host_io::{HostIo, HostIoConfig};
+
+use crate::report::ServeReport;
+use crate::{PartitionPolicy, TenantId, TenantRegistry};
+
+/// Configuration of the serving hierarchy: the underlying GMT substrate
+/// plus how its Tier-1 is partitioned.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// The tier geometry, device calibration and reuse machinery knobs.
+    /// `geometry.total_pages` must cover every admitted tenant's range.
+    pub gmt: GmtConfig,
+    /// How Tier-1 is divided among tenants.
+    pub partition: PartitionPolicy,
+}
+
+/// Per-page state (the serving twin of the single-tenant runtime's
+/// bookkeeping; ownership is implicit in the page's address range).
+#[derive(Debug, Clone)]
+struct PageMeta {
+    tier: Tier,
+    dirty: bool,
+    ready_at: Time,
+    evicted_at_vt: Option<u64>,
+    touches_since_load: u32,
+    predicted: Option<Tier>,
+    history: PageHistory,
+}
+
+impl Default for PageMeta {
+    fn default() -> PageMeta {
+        PageMeta {
+            tier: Tier::Ssd,
+            dirty: false,
+            ready_at: Time::ZERO,
+            evicted_at_vt: None,
+            touches_since_load: 0,
+            predicted: None,
+            history: PageHistory::default(),
+        }
+    }
+}
+
+/// Sliding window over recent eviction predictions (the §2.2 heuristic),
+/// kept per tenant so one tenant's streaming phase cannot force another
+/// tenant's victims into Tier-2.
+#[derive(Debug, Clone)]
+struct BypassWindow {
+    recent: VecDeque<bool>,
+    t3_count: usize,
+    capacity: usize,
+}
+
+impl BypassWindow {
+    fn new(capacity: usize) -> BypassWindow {
+        BypassWindow {
+            recent: VecDeque::with_capacity(capacity),
+            t3_count: 0,
+            capacity,
+        }
+    }
+
+    fn push(&mut self, predicted_t3: bool) {
+        if self.recent.len() == self.capacity && self.recent.pop_front().expect("window non-empty")
+        {
+            self.t3_count -= 1;
+        }
+        self.recent.push_back(predicted_t3);
+        if predicted_t3 {
+            self.t3_count += 1;
+        }
+    }
+
+    fn t3_fraction(&self) -> Option<f64> {
+        (self.recent.len() == self.capacity).then(|| self.t3_count as f64 / self.capacity as f64)
+    }
+}
+
+/// Everything the hierarchy keeps *per tenant*: the reuse machinery
+/// (sampler, classifier, Markov chain, bypass window) plus quota
+/// bookkeeping and counters. Device queues and PCIe links are shared —
+/// contention crosses tenants even when capacity does not.
+#[derive(Debug)]
+struct TenantState {
+    name: String,
+    base: u64,
+    span: usize,
+    /// Strict-quota slice (pages); unused by other policies.
+    budget: usize,
+    weight: u32,
+    floor: usize,
+    /// This tenant's virtual-timestamp stream: one tick per coalesced
+    /// touch *by this tenant*, so RVTDs measure the tenant's own reuse
+    /// distance and are immune to other tenants' access rates.
+    vt: u64,
+    sampler: SamplingRegression,
+    classifier: TierClassifier,
+    markov: MarkovPredictor,
+    bypass: BypassWindow,
+    metrics: TieringMetrics,
+    /// Pages currently resident in Tier-1.
+    resident: usize,
+}
+
+/// How Tier-1 is organized physically.
+#[derive(Debug)]
+enum Tier1Org {
+    /// One clock per tenant (strict quota: sized to the quota;
+    /// weighted shares: each sized to all of Tier-1, with the global
+    /// population capped by the hierarchy).
+    PerTenant(Vec<ClockList>),
+    /// One clock over all of Tier-1 (shared policies).
+    Shared(ClockList),
+}
+
+/// The multi-tenant serving hierarchy: one Tier-2, one SSD array and
+/// one PCIe path shared by every tenant, with Tier-1 divided per the
+/// configured [`PartitionPolicy`].
+///
+/// Implements [`MemoryBackend`], so an interleaved multi-tenant arrival
+/// schedule (see [`TieredService::offered_load`]) replays through
+/// [`Executor::run_arrivals`] exactly like a single-tenant trace.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_core::GmtConfig;
+/// use gmt_mem::TierGeometry;
+/// use gmt_serve::{
+///     ArrivalSchedule, PartitionPolicy, ServeConfig, TenantRegistry, TenantSpec, TieredService,
+/// };
+/// use gmt_workloads::synthetic::ZipfLoop;
+/// use gmt_workloads::WorkloadScale;
+///
+/// let mut registry = TenantRegistry::new(64, PartitionPolicy::StrictQuota);
+/// for (i, name) in ["a", "b"].iter().enumerate() {
+///     registry
+///         .admit(TenantSpec {
+///             name: (*name).into(),
+///             workload: Box::new(ZipfLoop::new(&WorkloadScale::tiny(), 1.0, 0.1, 500)),
+///             arrival: ArrivalSchedule::Uniform { gap_ns: 300 },
+///             quota_pages: 32,
+///             weight: 1,
+///             floor_pages: 8,
+///             seed: i as u64,
+///         })
+///         .expect("admitted");
+/// }
+/// let geometry = TierGeometry::from_tier1(64, 4.0, 4.0);
+/// let config = ServeConfig {
+///     gmt: GmtConfig::new(geometry),
+///     partition: PartitionPolicy::StrictQuota,
+/// };
+/// let service = TieredService::new(&config, registry).expect("valid");
+/// let outcome = service.serve(Default::default(), 1 << 20);
+/// assert_eq!(outcome.report.tenants.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TieredService {
+    config: ServeConfig,
+    tenants: Vec<TenantState>,
+    tier1: Tier1Org,
+    tier2: FifoCache,
+    table: PageTable<PageMeta>,
+    ssd: SsdArray,
+    host_io: HostIo,
+    to_gpu: HostLink,
+    to_host: HostLink,
+    trace: TraceSink,
+    /// The specs, retained to generate the offered load.
+    registry: TenantRegistry,
+}
+
+/// The result of serving one multi-tenant schedule to completion.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Total simulated time until the last access's data was ready.
+    pub elapsed: Dur,
+    /// Warp accesses served across all tenants.
+    pub accesses: u64,
+    /// Per-tenant report (hit rates, latency percentiles, fairness).
+    pub report: ServeReport,
+    /// Per-tenant counters, in tenant-id order.
+    pub per_tenant: Vec<TieringMetrics>,
+    /// Sum of every tenant's counters.
+    pub aggregate: TieringMetrics,
+}
+
+impl TieredService {
+    /// Builds the hierarchy for an admitted tenant population.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`gmt_core::ConfigError`] if the substrate
+    /// configuration is degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's address space does not cover every
+    /// tenant's page range, or if the registry's policy/Tier-1 capacity
+    /// disagree with `config` (the admission checks would be void).
+    pub fn new(
+        config: &ServeConfig,
+        registry: TenantRegistry,
+    ) -> Result<TieredService, gmt_core::ConfigError> {
+        config.gmt.validate()?;
+        let g = &config.gmt.geometry;
+        assert_eq!(
+            registry.policy(),
+            config.partition,
+            "registry admitted tenants under a different policy"
+        );
+        assert_eq!(
+            registry.tier1_pages(),
+            g.tier1_pages,
+            "registry partitioned a different tier-1 capacity"
+        );
+        assert!(
+            registry.total_pages() <= g.total_pages,
+            "tenant ranges ({} pages) exceed the address space ({} pages)",
+            registry.total_pages(),
+            g.total_pages
+        );
+        let tenants: Vec<TenantState> = registry
+            .specs()
+            .iter()
+            .zip(registry.bases())
+            .map(|(spec, &base)| {
+                // Strict quotas shrink the tenant's *effective* Tier-1, so
+                // Eq. 1 classifies against the slice, not the machine.
+                let t1 = match config.partition {
+                    PartitionPolicy::StrictQuota => spec.quota_pages,
+                    _ => g.tier1_pages,
+                } as u64;
+                TenantState {
+                    name: spec.name.clone(),
+                    base,
+                    span: spec.workload.total_pages(),
+                    budget: spec.quota_pages,
+                    weight: spec.weight,
+                    floor: spec.floor_pages,
+                    vt: 0,
+                    sampler: SamplingRegression::new(config.gmt.reuse.sampler),
+                    classifier: TierClassifier::new(t1, (g.tier2_pages as u64).max(t1)),
+                    markov: MarkovPredictor::new(),
+                    bypass: BypassWindow::new(config.gmt.reuse.bypass_window.max(1)),
+                    metrics: TieringMetrics::default(),
+                    resident: 0,
+                }
+            })
+            .collect();
+        let tier1 = match config.partition {
+            PartitionPolicy::StrictQuota => {
+                Tier1Org::PerTenant(tenants.iter().map(|t| ClockList::new(t.budget)).collect())
+            }
+            PartitionPolicy::WeightedShares => Tier1Org::PerTenant(
+                tenants
+                    .iter()
+                    .map(|_| ClockList::new(g.tier1_pages))
+                    .collect(),
+            ),
+            _ => Tier1Org::Shared(ClockList::new(g.tier1_pages)),
+        };
+        Ok(TieredService {
+            tenants,
+            tier1,
+            tier2: FifoCache::new(g.tier2_pages),
+            table: PageTable::new(g.total_pages),
+            ssd: SsdArray::new(ArrayConfig {
+                device: config.gmt.ssd,
+                devices: config.gmt.ssd_devices.max(1),
+                stripe_bytes: g.page_bytes,
+            }),
+            host_io: HostIo::new(HostIoConfig::default()),
+            to_gpu: HostLink::new(config.gmt.host_link),
+            to_host: HostLink::new(config.gmt.host_link),
+            trace: TraceSink::disabled(),
+            config: *config,
+            registry,
+        })
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of tenants being served.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The tenant owning `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is outside every tenant's range.
+    pub fn tenant_of(&self, page: PageId) -> TenantId {
+        let i = self
+            .tenants
+            .partition_point(|t| t.base <= page.0)
+            .checked_sub(1)
+            .expect("page below every tenant base");
+        let t = &self.tenants[i];
+        assert!(
+            page.0 < t.base + t.span as u64,
+            "{page} falls in the gap after tenant {i}"
+        );
+        TenantId(i as u32)
+    }
+
+    /// Counters accumulated for one tenant.
+    pub fn metrics(&self, tenant: TenantId) -> TieringMetrics {
+        self.tenants[tenant.index()].metrics
+    }
+
+    /// Every tenant's counters merged — the hierarchy-wide aggregate.
+    pub fn aggregate_metrics(&self) -> TieringMetrics {
+        let mut total = TieringMetrics::default();
+        for t in &self.tenants {
+            total.merge(&t.metrics);
+        }
+        total
+    }
+
+    /// Pages a tenant currently holds in Tier-1.
+    pub fn tenant_t1_resident(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant.index()].resident
+    }
+
+    /// A tenant's eviction-exempt floor (shared-QoS), in pages.
+    pub fn tenant_floor(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant.index()].floor
+    }
+
+    /// A tenant's strict-quota budget, in pages.
+    pub fn tenant_budget(&self, tenant: TenantId) -> usize {
+        self.tenants[tenant.index()].budget
+    }
+
+    /// Turns on decision tracing into a fresh ring of `capacity`
+    /// records, wiring in the shared SSD array and both PCIe
+    /// directions. Records emitted while serving a tenant's access are
+    /// stamped with that tenant's id (see
+    /// [`gmt_analysis::tracesum::tenant_summaries`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceSink {
+        let sink = TraceSink::bounded(capacity);
+        self.trace = sink.clone();
+        self.ssd.attach_trace(&sink);
+        self.to_gpu.attach_trace(&sink, LinkDir::ToGpu);
+        self.to_host.attach_trace(&sink, LinkDir::ToHost);
+        sink
+    }
+
+    /// The interleaved open-arrival schedule of every tenant: each
+    /// tenant's workload trace is relocated to its global range, paired
+    /// with its arrival times, and merged by `(arrival, tenant, seq)` —
+    /// fully deterministic for a fixed registry.
+    pub fn offered_load(&self) -> Vec<(Time, WarpAccess)> {
+        let mut merged: Vec<(Time, u32, usize, WarpAccess)> = Vec::new();
+        for (i, spec) in self.registry.specs().iter().enumerate() {
+            let base = self.tenants[i].base;
+            let trace = spec.workload.trace(spec.seed);
+            let times = spec
+                .arrival
+                .times(trace.len(), gmt_sim::rng::derive(spec.seed, 0x4152_5256));
+            for (seq, (at, access)) in times.into_iter().zip(trace).enumerate() {
+                let pages: Vec<PageId> = access.pages.iter().map(|p| PageId(p.0 + base)).collect();
+                merged.push((
+                    at,
+                    i as u32,
+                    seq,
+                    WarpAccess::scattered(pages, access.write),
+                ));
+            }
+        }
+        merged.sort_by_key(|(at, tenant, seq, _)| (at.as_nanos(), *tenant, *seq));
+        merged
+            .into_iter()
+            .map(|(at, _, _, access)| (at, access))
+            .collect()
+    }
+
+    /// Serves the whole offered load to completion: enables tracing,
+    /// replays the merged schedule through
+    /// [`Executor::run_arrivals`], and distills the per-tenant report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_capacity` is zero or the ring overflows (the
+    /// report would silently undercount; size the ring to the run).
+    pub fn serve(mut self, executor: ExecutorConfig, trace_capacity: usize) -> ServeOutcome {
+        let sink = self.enable_tracing(trace_capacity);
+        let schedule = self.offered_load();
+        let policy = self.config.partition;
+        let out: RunOutcome<TieredService> = Executor::new(executor).run_arrivals(self, schedule);
+        assert_eq!(
+            sink.dropped(),
+            0,
+            "trace ring overflowed; raise trace_capacity"
+        );
+        let service = out.backend;
+        let per_tenant: Vec<TieringMetrics> = service.tenants.iter().map(|t| t.metrics).collect();
+        let aggregate = service.aggregate_metrics();
+        let names: Vec<String> = service.tenants.iter().map(|t| t.name.clone()).collect();
+        let report = ServeReport::from_trace(policy, &names, &sink.snapshot(), &per_tenant);
+        ServeOutcome {
+            elapsed: out.elapsed,
+            accesses: out.accesses,
+            report,
+            per_tenant,
+            aggregate,
+        }
+    }
+
+    /// Verifies structural invariants: clocks, Tier-2 and the page
+    /// table agree; resident counters match clock populations; strict
+    /// quotas are respected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut tier1_total = 0usize;
+        for (i, t) in self.tenants.iter().enumerate() {
+            let in_clock = match &self.tier1 {
+                Tier1Org::PerTenant(clocks) => clocks[i].len(),
+                Tier1Org::Shared(clock) => clock
+                    .iter()
+                    .filter(|p| self.tenant_of(*p).index() == i)
+                    .count(),
+            };
+            if in_clock != t.resident {
+                return Err(format!(
+                    "tenant {i} resident counter {} but clock holds {in_clock}",
+                    t.resident
+                ));
+            }
+            if self.config.partition == PartitionPolicy::StrictQuota && t.resident > t.budget {
+                return Err(format!(
+                    "tenant {i} holds {} Tier-1 pages over its {}-page quota",
+                    t.resident, t.budget
+                ));
+            }
+            tier1_total += t.resident;
+        }
+        if tier1_total > self.config.gmt.geometry.tier1_pages {
+            return Err(format!(
+                "{tier1_total} Tier-1 residents exceed the {}-page capacity",
+                self.config.gmt.geometry.tier1_pages
+            ));
+        }
+        let mut t1 = 0usize;
+        let mut t2 = 0usize;
+        for (page, meta) in self.table.iter() {
+            match meta.tier {
+                Tier::Gpu => t1 += 1,
+                Tier::Host => {
+                    t2 += 1;
+                    if !self.tier2.contains(page) {
+                        return Err(format!("{page} marked Tier-2 but absent from the cache"));
+                    }
+                }
+                Tier::Ssd => {}
+            }
+        }
+        if t1 != tier1_total {
+            return Err(format!(
+                "page table says {t1} Tier-1 pages but clocks hold {tier1_total}"
+            ));
+        }
+        if t2 != self.tier2.len() {
+            return Err(format!(
+                "page table says {t2} Tier-2 pages but the cache holds {}",
+                self.tier2.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn page_bytes(&self) -> u64 {
+        self.config.gmt.geometry.page_bytes
+    }
+
+    fn ssd_offset(&self, page: PageId) -> u64 {
+        page.0 * self.page_bytes()
+    }
+
+    fn clock_mut(&mut self, tenant: usize) -> &mut ClockList {
+        match &mut self.tier1 {
+            Tier1Org::PerTenant(clocks) => &mut clocks[tenant],
+            Tier1Org::Shared(clock) => clock,
+        }
+    }
+
+    /// Free Tier-1 slots available to a faulting tenant under the
+    /// current policy.
+    fn free_slots(&self, tenant: usize) -> usize {
+        match (&self.tier1, self.config.partition) {
+            (Tier1Org::PerTenant(_), PartitionPolicy::StrictQuota) => {
+                let t = &self.tenants[tenant];
+                t.budget - t.resident
+            }
+            (Tier1Org::PerTenant(_), _) => {
+                let total: usize = self.tenants.iter().map(|t| t.resident).sum();
+                self.config.gmt.geometry.tier1_pages - total
+            }
+            (Tier1Org::Shared(clock), _) => clock.capacity() - clock.len(),
+        }
+    }
+
+    /// Predicts the tier the page's next reuse falls into, using the
+    /// *owner's* Markov chain and history.
+    fn predict_tier(&self, page: PageId) -> Tier {
+        let owner = self.tenant_of(page).index();
+        let meta = self.table.get(page);
+        match meta.history.last() {
+            Some(last) => match self.config.gmt.reuse.predictor {
+                PredictorKind::Markov => self.tenants[owner].markov.predict(last),
+                PredictorKind::LastTier => last,
+                PredictorKind::AlwaysHost => Tier::Host,
+            },
+            None if meta.touches_since_load <= 1 => Tier::Ssd,
+            None => Tier::Host,
+        }
+    }
+
+    /// The weighted-shares victim tenant: the one furthest above its
+    /// weighted share (largest resident-per-weight), among tenants that
+    /// hold anything at all. Work-conserving: idle tenants' capacity is
+    /// reclaimed from whoever borrowed the most.
+    fn most_over_share(&self) -> usize {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.resident > 0)
+            .max_by(|(_, a), (_, b)| {
+                let ka = a.resident as f64 / a.weight as f64;
+                let kb = b.resident as f64 / b.weight as f64;
+                ka.partial_cmp(&kb).expect("ratios are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("eviction requested from an empty tier-1")
+    }
+
+    /// GMT-Reuse victim selection within one tenant's private clock.
+    fn select_per_tenant(&mut self, victim_tenant: usize) -> (PageId, Tier, Tier) {
+        let max_skips = self.config.gmt.reuse.max_skips;
+        for _ in 0..max_skips {
+            let candidate = self
+                .clock_mut(victim_tenant)
+                .candidate()
+                .expect("victim tenant's clock is non-empty");
+            let predicted = self.predict_tier(candidate);
+            if predicted == Tier::Gpu {
+                self.tenants[victim_tenant].metrics.short_reuse_keeps += 1;
+                self.clock_mut(victim_tenant).skip_candidate();
+                continue;
+            }
+            return self.finish_selection(victim_tenant, candidate, predicted);
+        }
+        let victim = self.clock_mut(victim_tenant).evict_candidate();
+        self.tenants[victim_tenant].bypass.push(false);
+        (victim, Tier::Host, Tier::Gpu)
+    }
+
+    /// GMT-Reuse victim selection on the shared clock, optionally
+    /// skipping pages whose owner sits at or below its QoS floor.
+    ///
+    /// Termination: admission guarantees `Σ floors < tier1_pages`, so a
+    /// full Tier-1 always holds a page owned by an above-floor tenant
+    /// (or by the faulting tenant itself, whose net residency is
+    /// unchanged by a self-eviction-plus-fill).
+    fn select_shared(&mut self, qos: bool, faulting: usize) -> (PageId, Tier, Tier) {
+        let capacity = match &self.tier1 {
+            Tier1Org::Shared(clock) => clock.capacity(),
+            Tier1Org::PerTenant(_) => unreachable!("shared selection on partitioned tier-1"),
+        };
+        let max_skips = self.config.gmt.reuse.max_skips;
+        let mut reuse_skips = 0usize;
+        // Floor skips re-arm reference bits, so one extra lap clears
+        // them; 4 laps bounds the scan far above any reachable case.
+        for _ in 0..4 * capacity.max(1) {
+            let candidate = self
+                .clock_mut(faulting)
+                .candidate()
+                .expect("shared clock is non-empty");
+            let owner = self.tenant_of(candidate).index();
+            if qos && owner != faulting && self.tenants[owner].resident <= self.tenants[owner].floor
+            {
+                self.clock_mut(faulting).skip_candidate();
+                continue;
+            }
+            let predicted = self.predict_tier(candidate);
+            if predicted == Tier::Gpu && reuse_skips < max_skips {
+                reuse_skips += 1;
+                self.tenants[faulting].metrics.short_reuse_keeps += 1;
+                self.clock_mut(faulting).skip_candidate();
+                continue;
+            }
+            return self.finish_selection(faulting, candidate, predicted);
+        }
+        unreachable!("no evictable page found; admission floors must be violated");
+    }
+
+    /// Applies the §2.2 bypass heuristic and evicts the candidate.
+    /// Counter attribution goes to `account`, the faulting tenant.
+    fn finish_selection(
+        &mut self,
+        account: usize,
+        candidate: PageId,
+        predicted: Tier,
+    ) -> (PageId, Tier, Tier) {
+        self.tenants[account].bypass.push(predicted == Tier::Ssd);
+        let mut target = predicted;
+        if predicted == Tier::Ssd {
+            if let Some(f) = self.tenants[account].bypass.t3_fraction() {
+                if f > self.config.gmt.reuse.bypass_threshold {
+                    target = Tier::Host;
+                    self.tenants[account].metrics.forced_t2_placements += 1;
+                }
+            }
+        }
+        let clock = match &mut self.tier1 {
+            Tier1Org::PerTenant(clocks) => &mut clocks[account],
+            Tier1Org::Shared(clock) => clock,
+        };
+        let victim = clock.evict_candidate();
+        debug_assert_eq!(victim, candidate);
+        (victim, target, predicted)
+    }
+
+    /// Evicts one Tier-1 page on behalf of faulting tenant `t`; returns
+    /// when the evicting warp is done with the transfer.
+    fn evict_one(&mut self, now: Time, t: usize) -> Time {
+        let (victim, target, predicted) = match self.config.partition {
+            PartitionPolicy::StrictQuota => self.select_per_tenant(t),
+            PartitionPolicy::WeightedShares => {
+                let v = self.most_over_share();
+                self.select_per_tenant(v)
+            }
+            PartitionPolicy::SharedQos => self.select_shared(true, t),
+            PartitionPolicy::FullyShared => self.select_shared(false, t),
+        };
+        let owner = self.tenant_of(victim).index();
+        self.tenants[owner].resident -= 1;
+        self.tenants[t].metrics.t1_evictions += 1;
+        {
+            let vt = self.tenants[owner].vt;
+            let meta = self.table.get_mut(victim);
+            meta.evicted_at_vt = Some(vt);
+            meta.predicted = Some(predicted);
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::Eviction {
+                    page: victim.0,
+                    predicted: Some(tier_tag(predicted)),
+                    target: tier_tag(target),
+                    dirty: self.table.get(victim).dirty,
+                },
+            );
+        }
+        match target {
+            Tier::Host => self.place_in_tier2(now, t, victim),
+            _ => self.bypass_to_ssd(now, t, victim),
+        }
+    }
+
+    /// Places `victim` into the shared Tier-2 (FIFO), spilling its own
+    /// victim if full.
+    fn place_in_tier2(&mut self, now: Time, t: usize, victim: PageId) -> Time {
+        if let Some(t2_victim) = self.tier2.insert_evicting(victim) {
+            self.drop_from_tier2(now, t, t2_victim);
+        }
+        self.tenants[t].metrics.t2_placements += 1;
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                TraceEvent::Tier2Place {
+                    page: victim.0,
+                    dirty: self.table.get(victim).dirty,
+                },
+            );
+        }
+        let batch = TransferBatch {
+            pages: 1,
+            page_bytes: self.page_bytes(),
+            threads: 32,
+        };
+        let done = self.to_host.transfer(now, batch, self.config.gmt.transfer);
+        let meta = self.table.get_mut(victim);
+        meta.tier = Tier::Host;
+        meta.ready_at = done;
+        done
+    }
+
+    /// A page leaving the shared Tier-2: dirty pages are written back
+    /// by host userspace I/O, off the GPU's critical path.
+    fn drop_from_tier2(&mut self, now: Time, t: usize, t2_victim: PageId) {
+        let dirty = {
+            let meta = self.table.get_mut(t2_victim);
+            let dirty = meta.dirty;
+            meta.tier = Tier::Ssd;
+            meta.dirty = false;
+            dirty
+        };
+        self.trace.emit(
+            now,
+            TraceEvent::Tier2Spill {
+                page: t2_victim.0,
+                dirty,
+            },
+        );
+        if dirty {
+            self.tenants[t].metrics.t2_writebacks += 1;
+            let offset = self.ssd_offset(t2_victim);
+            let bytes = self.page_bytes();
+            self.host_io.write(now, &mut self.ssd, offset, bytes);
+        } else {
+            self.tenants[t].metrics.t2_drops += 1;
+        }
+    }
+
+    /// Bypasses `victim` straight to Tier-3.
+    fn bypass_to_ssd(&mut self, now: Time, t: usize, victim: PageId) -> Time {
+        let dirty = {
+            let meta = self.table.get_mut(victim);
+            let dirty = meta.dirty;
+            meta.tier = Tier::Ssd;
+            meta.dirty = false;
+            dirty
+        };
+        if dirty {
+            self.tenants[t].metrics.ssd_writes += 1;
+            self.trace
+                .emit(now, TraceEvent::SsdWriteBack { page: victim.0 });
+            let offset = self.ssd_offset(victim);
+            let bytes = self.page_bytes();
+            self.ssd.write(now, offset, bytes)
+        } else {
+            self.tenants[t].metrics.discards += 1;
+            self.trace
+                .emit(now, TraceEvent::EvictDiscard { page: victim.0 });
+            now
+        }
+    }
+
+    /// Bookkeeping when `page` re-enters Tier-1: grade the owner's old
+    /// prediction against the now-known RVTD and train its Markov chain.
+    fn on_refill(&mut self, now: Time, page: PageId) {
+        let owner = self.tenant_of(page).index();
+        let fit = self.tenants[owner].sampler.fit();
+        let vt = self.tenants[owner].vt;
+        let classifier = self.tenants[owner].classifier;
+        let meta = self.table.get_mut(page);
+        if let Some(evicted_vt) = meta.evicted_at_vt.take() {
+            let rvtd = vt.saturating_sub(evicted_vt);
+            let correct = classifier.classify_rvtd(rvtd, &fit);
+            if let Some(predicted) = meta.predicted.take() {
+                self.tenants[owner].metrics.predictions += 1;
+                if predicted == correct {
+                    self.tenants[owner].metrics.predictions_correct += 1;
+                }
+                self.trace.emit(
+                    now,
+                    TraceEvent::PredictionGraded {
+                        page: page.0,
+                        predicted: tier_tag(predicted),
+                        actual: tier_tag(correct),
+                        correct: predicted == correct,
+                    },
+                );
+            }
+            let mut history = self.table.get(page).history;
+            history.observe(correct, &mut self.tenants[owner].markov);
+            self.table.get_mut(page).history = history;
+        }
+    }
+
+    /// Installs `page` into the faulting tenant's Tier-1 organization.
+    fn install(&mut self, t: usize, page: PageId) {
+        self.clock_mut(t).insert(page);
+        self.tenants[t].resident += 1;
+    }
+}
+
+/// Maps the memory model's [`Tier`] onto the trace vocabulary.
+fn tier_tag(tier: Tier) -> TierTag {
+    match tier {
+        Tier::Gpu => TierTag::Gpu,
+        Tier::Host => TierTag::Host,
+        Tier::Ssd => TierTag::Ssd,
+    }
+}
+
+impl MemoryBackend for TieredService {
+    fn access(&mut self, now: Time, access: &WarpAccess) -> Time {
+        let first = access.pages.first();
+        let t = self.tenant_of(first).index();
+        // Stamp every record emitted while serving this access — the
+        // per-tenant report is distilled from these stamps.
+        self.trace.set_tenant(Some(t as u32));
+        self.tenants[t].metrics.accesses += 1;
+        let mut ready = now;
+        let mut tier2_fetches: Vec<PageId> = Vec::new();
+        let mut ssd_fetches: Vec<PageId> = Vec::new();
+        for page in access.pages.iter() {
+            assert_eq!(
+                self.tenant_of(page).index(),
+                t,
+                "a warp access may not span tenants"
+            );
+            self.tenants[t].vt += 1;
+            self.trace.set_vt(self.tenants[t].vt);
+            if !self.tenants[t].sampler.is_complete() {
+                self.tenants[t].sampler.observe(page);
+            }
+            let meta = self.table.get(page);
+            match meta.tier {
+                Tier::Gpu => {
+                    ready = ready.max(meta.ready_at);
+                    self.clock_mut(t).touch(page);
+                    self.tenants[t].metrics.t1_hits += 1;
+                    self.table.get_mut(page).touches_since_load += 1;
+                    self.trace.emit(now, TraceEvent::Tier1Hit { page: page.0 });
+                }
+                Tier::Host => {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Miss {
+                            page: page.0,
+                            resident: TierTag::Host,
+                        },
+                    );
+                    tier2_fetches.push(page);
+                }
+                Tier::Ssd => {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Miss {
+                            page: page.0,
+                            resident: TierTag::Ssd,
+                        },
+                    );
+                    ssd_fetches.push(page);
+                }
+            }
+        }
+
+        let missing = tier2_fetches.len() + ssd_fetches.len();
+        self.tenants[t].metrics.t1_misses += missing as u64;
+
+        let free = self.free_slots(t);
+        for _ in 0..missing.saturating_sub(free) {
+            let done = self.evict_one(now, t);
+            if !self.config.gmt.async_eviction {
+                ready = ready.max(done);
+            }
+        }
+
+        // Every miss probes the shared Tier-2 before touching the SSD.
+        let probe_done = now + self.to_gpu.lookup_cost();
+
+        if !tier2_fetches.is_empty() {
+            self.tenants[t].metrics.t2_hits += tier2_fetches.len() as u64;
+            let mut start = probe_done;
+            for &page in &tier2_fetches {
+                self.trace.emit(now, TraceEvent::Tier2Hit { page: page.0 });
+                start = start.max(self.table.get(page).ready_at);
+                self.tier2.remove(page);
+            }
+            let batch = TransferBatch {
+                pages: tier2_fetches.len(),
+                page_bytes: self.page_bytes(),
+                threads: 32,
+            };
+            let done = self.to_gpu.transfer(start, batch, self.config.gmt.transfer);
+            for &page in &tier2_fetches {
+                self.install(t, page);
+                self.on_refill(now, page);
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        now,
+                        TraceEvent::Tier1Fill {
+                            page: page.0,
+                            source: TierTag::Host,
+                            ready_ns: done.as_nanos(),
+                        },
+                    );
+                }
+                let meta = self.table.get_mut(page);
+                meta.tier = Tier::Gpu;
+                meta.ready_at = done;
+                meta.touches_since_load = 1;
+            }
+            ready = ready.max(done);
+        }
+
+        for &page in &ssd_fetches {
+            self.tenants[t].metrics.wasteful_lookups += 1;
+            self.tenants[t].metrics.ssd_reads += 1;
+            self.trace
+                .emit(now, TraceEvent::WastefulLookup { page: page.0 });
+            let offset = self.ssd_offset(page);
+            let bytes = self.page_bytes();
+            let done = self.ssd.read(probe_done, offset, bytes);
+            self.install(t, page);
+            self.on_refill(now, page);
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    now,
+                    TraceEvent::Tier1Fill {
+                        page: page.0,
+                        source: TierTag::Ssd,
+                        ready_ns: done.as_nanos(),
+                    },
+                );
+            }
+            let meta = self.table.get_mut(page);
+            meta.tier = Tier::Gpu;
+            meta.ready_at = done;
+            meta.touches_since_load = 1;
+            ready = ready.max(done);
+        }
+
+        if access.write {
+            for page in access.pages.iter() {
+                self.table.get_mut(page).dirty = true;
+            }
+        }
+        self.trace.set_tenant(None);
+        ready
+    }
+
+    fn finish(&mut self, now: Time) -> Time {
+        self.ssd.flush_trace(now);
+        now
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the partitioning guarantees: strict quotas are
+//! never exceeded, and no tenant is ever evicted below its QoS floor by
+//! another tenant's fault.
+
+use gmt_core::GmtConfig;
+use gmt_gpu::MemoryBackend;
+use gmt_mem::{PageId, TierGeometry, WarpAccess};
+use gmt_serve::{
+    ArrivalSchedule, PartitionPolicy, ServeConfig, TenantId, TenantRegistry, TenantSpec,
+    TieredService,
+};
+use gmt_sim::{Dur, Time};
+use gmt_workloads::synthetic::SequentialScan;
+use gmt_workloads::WorkloadScale;
+use proptest::prelude::*;
+
+const TIER1: usize = 48;
+const TENANTS: usize = 3;
+/// Every tenant's range is one `tiny()` scan: 128 pages.
+const SPAN: u64 = 128;
+
+fn build(policy: PartitionPolicy) -> TieredService {
+    let mut registry = TenantRegistry::new(TIER1, policy);
+    let quotas = [16usize, 16, 16];
+    let floors = [12usize, 8, 4];
+    for i in 0..TENANTS {
+        registry
+            .admit(TenantSpec {
+                name: format!("t{i}"),
+                workload: Box::new(SequentialScan::new(&WorkloadScale::tiny(), 1)),
+                arrival: ArrivalSchedule::Uniform { gap_ns: 100 },
+                quota_pages: quotas[i],
+                weight: (i + 1) as u32,
+                floor_pages: floors[i],
+                seed: i as u64,
+            })
+            .expect("property tenants always fit");
+    }
+    let config = ServeConfig {
+        gmt: GmtConfig::new(TierGeometry::from_tier1(TIER1, 2.0, 3.0)),
+        partition: policy,
+    };
+    TieredService::new(&config, registry).expect("valid config")
+}
+
+fn page(tenant: usize, offset: u64) -> PageId {
+    PageId(tenant as u64 * SPAN + offset)
+}
+
+fn residents(service: &TieredService) -> Vec<usize> {
+    (0..TENANTS)
+        .map(|i| service.tenant_t1_resident(TenantId(i as u32)))
+        .collect()
+}
+
+proptest! {
+    // Satellite guarantee: under strict quotas a tenant can never hold
+    // more Tier-1 pages than its slice, and one tenant faulting never
+    // changes another tenant's residency at all.
+    #[test]
+    fn strict_quota_bounds_and_isolates(
+        seq in proptest::collection::vec((0usize..TENANTS, 0u64..SPAN), 1..300),
+    ) {
+        let mut service = build(PartitionPolicy::StrictQuota);
+        let mut now = Time::ZERO;
+        for (t, offset) in seq {
+            let before = residents(&service);
+            service.access(now, &WarpAccess::read(page(t, offset)));
+            now += Dur::from_nanos(150);
+            for (i, &held_before) in before.iter().enumerate() {
+                let after = service.tenant_t1_resident(TenantId(i as u32));
+                prop_assert!(
+                    after <= service.tenant_budget(TenantId(i as u32)),
+                    "tenant {i} at {after} pages exceeds its quota"
+                );
+                if i != t {
+                    prop_assert_eq!(
+                        after, held_before,
+                        "tenant {}'s residency moved on tenant {}'s fault", i, t
+                    );
+                }
+            }
+        }
+        prop_assert!(service.check_invariants().is_ok());
+    }
+
+    // The QoS guarantee (issue acceptance): while one tenant faults, no
+    // *other* tenant's Tier-1 residency ever drops below its reserved
+    // floor. (A tenant below its floor may grow; it must never be shrunk
+    // further by someone else's eviction.)
+    #[test]
+    fn qos_floor_is_never_breached_by_another_tenants_fault(
+        seq in proptest::collection::vec((0usize..TENANTS, 0u64..SPAN), 1..300),
+    ) {
+        let mut service = build(PartitionPolicy::SharedQos);
+        let mut now = Time::ZERO;
+        for (t, offset) in seq {
+            let before = residents(&service);
+            service.access(now, &WarpAccess::read(page(t, offset)));
+            now += Dur::from_nanos(150);
+            for (o, &held_before) in before.iter().enumerate() {
+                if o == t {
+                    continue;
+                }
+                let floor = service.tenant_floor(TenantId(o as u32));
+                let after = service.tenant_t1_resident(TenantId(o as u32));
+                prop_assert!(
+                    after >= held_before.min(floor),
+                    "tenant {o} shrunk from {held_before} to {after} (floor {floor}) \
+                     while tenant {t} faulted"
+                );
+            }
+        }
+        prop_assert!(service.check_invariants().is_ok());
+    }
+
+    // Shared policies must still respect physics: Tier-1 never holds
+    // more pages than it has slots, whoever they belong to.
+    #[test]
+    fn shared_policies_never_oversubscribe_tier1(
+        seq in proptest::collection::vec((0usize..TENANTS, 0u64..SPAN), 1..300),
+    ) {
+        for policy in [
+            PartitionPolicy::WeightedShares,
+            PartitionPolicy::SharedQos,
+            PartitionPolicy::FullyShared,
+        ] {
+            let mut service = build(policy);
+            let mut now = Time::ZERO;
+            for &(t, offset) in &seq {
+                service.access(now, &WarpAccess::read(page(t, offset)));
+                now += Dur::from_nanos(150);
+                let total: usize = residents(&service).iter().sum();
+                prop_assert!(
+                    total <= TIER1,
+                    "{policy}: {total} resident pages in a {TIER1}-slot tier-1"
+                );
+            }
+            prop_assert!(service.check_invariants().is_ok());
+        }
+    }
+}

@@ -280,6 +280,12 @@ pub struct TraceRecord {
     /// The runtime's global virtual-timestamp counter (one tick per
     /// coalesced memory transaction) at recording time.
     pub vt: u64,
+    /// The tenant on whose behalf the event happened, when the recording
+    /// runtime serves more than one workload stream (`gmt-serve`).
+    /// Single-tenant runtimes never set it, and the exporters omit it
+    /// when absent, so their output is unchanged from the pre-tenant
+    /// schema.
+    pub tenant: Option<u32>,
     /// The event itself.
     pub event: TraceEvent,
 }
@@ -296,6 +302,10 @@ impl TraceRecord {
         s.push_str(&self.at.as_nanos().to_string());
         s.push_str(",\"vt\":");
         s.push_str(&self.vt.to_string());
+        if let Some(tenant) = self.tenant {
+            s.push_str(",\"tenant\":");
+            s.push_str(&tenant.to_string());
+        }
         s.push_str(",\"ev\":\"");
         s.push_str(self.event.name());
         s.push('"');
@@ -433,8 +443,9 @@ pub fn to_jsonl(records: &[TraceRecord]) -> String {
 /// predicted, respectively, for evictions; actual and predicted for
 /// prediction grades); `flag` is the event's boolean (dirty, write,
 /// zero-copy or correct); `depth`, `bytes` and `latency_ns` are filled
-/// where the event defines them.
-pub const CSV_HEADER: &str = "t_ns,vt,event,id,tier,tier2,flag,depth,bytes,latency_ns";
+/// where the event defines them; `tenant` is the serving tenant id,
+/// empty for single-tenant runtimes.
+pub const CSV_HEADER: &str = "t_ns,vt,event,id,tier,tier2,flag,depth,bytes,latency_ns,tenant";
 
 /// Renders records as CSV with the [`CSV_HEADER`] columns.
 ///
@@ -549,8 +560,9 @@ pub fn to_csv(records: &[TraceRecord]) -> String {
                 flag = write.to_string();
             }
         }
+        let tenant = r.tenant.map_or(String::new(), |t| t.to_string());
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
             r.at.as_nanos(),
             r.vt,
             r.event.name(),
@@ -561,6 +573,7 @@ pub fn to_csv(records: &[TraceRecord]) -> String {
             depth,
             bytes,
             latency,
+            tenant,
         ));
     }
     out
@@ -571,6 +584,7 @@ struct Ring {
     capacity: usize,
     dropped: u64,
     vt: u64,
+    tenant: Option<u32>,
     last_at: Time,
 }
 
@@ -627,6 +641,7 @@ impl TraceSink {
                 capacity,
                 dropped: 0,
                 vt: 0,
+                tenant: None,
                 last_at: Time::ZERO,
             }))),
         }
@@ -651,6 +666,22 @@ impl TraceSink {
         self.inner.as_ref().map_or(0, |r| r.borrow().vt)
     }
 
+    /// Sets the tenant id stamped onto subsequent records, or clears it
+    /// with `None`. Multi-tenant runtimes call this when they switch to
+    /// servicing a different workload stream; single-tenant runtimes
+    /// never call it, keeping their exported traces on the pre-tenant
+    /// schema byte-for-byte.
+    pub fn set_tenant(&self, tenant: Option<u32>) {
+        if let Some(ring) = &self.inner {
+            ring.borrow_mut().tenant = tenant;
+        }
+    }
+
+    /// The most recently set tenant id (`None` when disabled or unset).
+    pub fn tenant(&self) -> Option<u32> {
+        self.inner.as_ref().and_then(|r| r.borrow().tenant)
+    }
+
     /// Records `event` at instant `at`, dropping the oldest record if
     /// the ring is full. No-op on a disabled sink.
     ///
@@ -670,7 +701,13 @@ impl TraceSink {
         let at = at.max(ring.last_at);
         ring.last_at = at;
         let vt = ring.vt;
-        ring.records.push_back(TraceRecord { at, vt, event });
+        let tenant = ring.tenant;
+        ring.records.push_back(TraceRecord {
+            at,
+            vt,
+            tenant,
+            event,
+        });
     }
 
     /// Number of records currently buffered.
@@ -737,6 +774,7 @@ mod tests {
         TraceRecord {
             at: Time::from_nanos(t),
             vt,
+            tenant: None,
             event,
         }
     }
@@ -746,6 +784,8 @@ mod tests {
         let sink = TraceSink::disabled();
         assert!(!sink.is_enabled());
         sink.set_vt(9);
+        sink.set_tenant(Some(1));
+        assert_eq!(sink.tenant(), None);
         sink.emit(Time::ZERO, TraceEvent::Tier1Hit { page: 1 });
         assert!(sink.is_empty());
         assert!(sink.drain().is_empty());
@@ -827,6 +867,35 @@ mod tests {
     }
 
     #[test]
+    fn tenant_stamp_reaches_records_and_exporters() {
+        let sink = TraceSink::bounded(8);
+        sink.emit(Time::from_nanos(1), TraceEvent::Tier1Hit { page: 0 });
+        sink.set_tenant(Some(3));
+        assert_eq!(sink.tenant(), Some(3));
+        sink.emit(Time::from_nanos(2), TraceEvent::Tier1Hit { page: 1 });
+        sink.set_tenant(None);
+        sink.emit(Time::from_nanos(3), TraceEvent::Tier1Hit { page: 2 });
+        let records = sink.snapshot();
+        assert_eq!(
+            records.iter().map(|r| r.tenant).collect::<Vec<_>>(),
+            vec![None, Some(3), None]
+        );
+        let jsonl = to_jsonl(&records);
+        assert_eq!(
+            jsonl.lines().next().unwrap(),
+            r#"{"t":1,"vt":0,"ev":"t1_hit","page":0}"#,
+            "untagged records keep the pre-tenant schema"
+        );
+        assert_eq!(
+            jsonl.lines().nth(1).unwrap(),
+            r#"{"t":2,"vt":0,"tenant":3,"ev":"t1_hit","page":1}"#
+        );
+        let csv = to_csv(&records);
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,0,t1_hit,0,,,,,,,");
+        assert_eq!(csv.lines().nth(2).unwrap(), "2,0,t1_hit,1,,,,,,,3");
+    }
+
+    #[test]
     fn unpredicted_eviction_serialises_null() {
         let line = rec(
             1,
@@ -867,8 +936,8 @@ mod tests {
         let csv = to_csv(&records);
         let mut lines = csv.lines();
         assert_eq!(lines.next().unwrap(), CSV_HEADER);
-        assert_eq!(lines.next().unwrap(), "10,1,ssd_submit,0,,,false,1,4096,");
-        assert_eq!(lines.next().unwrap(), "20,1,t1_miss,5,t3,,,,,");
+        assert_eq!(lines.next().unwrap(), "10,1,ssd_submit,0,,,false,1,4096,,");
+        assert_eq!(lines.next().unwrap(), "20,1,t1_miss,5,t3,,,,,,");
         for line in csv.lines() {
             assert_eq!(line.matches(',').count(), CSV_HEADER.matches(',').count());
         }

@@ -1,0 +1,125 @@
+//! Combinators for placing workloads into a shared address space.
+//!
+//! Multi-tenant serving runs several workloads against *one* tiered
+//! hierarchy. Each tenant keeps its own private page numbering
+//! (`0..total_pages`); [`Shifted`] relocates that range to a base
+//! offset in the global namespace so tenants never alias each other's
+//! pages and the hierarchy can attribute any global page back to its
+//! tenant by range lookup.
+
+use gmt_mem::{PageId, WarpAccess};
+
+use crate::Workload;
+
+/// A workload relocated to `base..base + inner.total_pages()` of a
+/// larger shared address space.
+///
+/// The trace is the inner workload's trace with every page id offset by
+/// `base`; determinism, access counts and reuse structure are untouched.
+///
+/// # Examples
+///
+/// ```
+/// use gmt_workloads::synthetic::SequentialScan;
+/// use gmt_workloads::{Shifted, Workload, WorkloadScale};
+///
+/// let scan = SequentialScan::new(&WorkloadScale::tiny(), 1);
+/// let span = scan.total_pages();
+/// let shifted = Shifted::new(scan, 1_000);
+/// assert_eq!(shifted.total_pages(), 1_000 + span);
+/// let first = shifted.trace(7)[0].pages.first();
+/// assert!(first.0 >= 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shifted<W> {
+    inner: W,
+    base: u64,
+}
+
+impl<W: Workload> Shifted<W> {
+    /// Relocates `inner` to start at page `base`.
+    pub fn new(inner: W, base: u64) -> Shifted<W> {
+        Shifted { inner, base }
+    }
+
+    /// The first page of the relocated range.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The relocated workload.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Workload> Workload for Shifted<W> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Extent of the *global* space the trace touches: the shifted
+    /// range's end, so `base` pages below it are left untouched.
+    fn total_pages(&self) -> usize {
+        self.base as usize + self.inner.total_pages()
+    }
+
+    fn trace(&self, seed: u64) -> Vec<WarpAccess> {
+        self.inner
+            .trace(seed)
+            .into_iter()
+            .map(|access| {
+                let pages: Vec<PageId> = access
+                    .pages
+                    .iter()
+                    .map(|p| PageId(p.0 + self.base))
+                    .collect();
+                WarpAccess::scattered(pages, access.write)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::ZipfLoop;
+    use crate::WorkloadScale;
+
+    #[test]
+    fn shift_by_zero_is_identity() {
+        let zipf = ZipfLoop::new(&WorkloadScale::tiny(), 0.8, 0.1, 500);
+        let plain = zipf.trace(3);
+        let shifted = Shifted::new(zipf, 0);
+        assert_eq!(shifted.trace(3), plain);
+    }
+
+    #[test]
+    fn every_page_lands_in_the_relocated_range() {
+        let zipf = ZipfLoop::new(&WorkloadScale::tiny(), 0.8, 0.1, 500);
+        let span = zipf.total_pages() as u64;
+        let base = 4_096;
+        let shifted = Shifted::new(zipf, base);
+        assert_eq!(shifted.total_pages() as u64, base + span);
+        for access in shifted.trace(3) {
+            for page in access.pages.iter() {
+                assert!(page.0 >= base && page.0 < base + span);
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_preserves_structure() {
+        let zipf = ZipfLoop::new(&WorkloadScale::tiny(), 0.8, 0.1, 500);
+        let plain = zipf.trace(9);
+        let shifted = Shifted::new(zipf, 128).trace(9);
+        assert_eq!(plain.len(), shifted.len());
+        for (a, b) in plain.iter().zip(&shifted) {
+            assert_eq!(a.write, b.write);
+            assert_eq!(a.pages.len(), b.pages.len());
+            for (pa, pb) in a.pages.iter().zip(b.pages.iter()) {
+                assert_eq!(pa.0 + 128, pb.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Multi-tenant serving: two tenants, one hierarchy, four policies.
+//!
+//! A latency-sensitive Zipf tenant shares the tiered hierarchy with a
+//! bulk sequential-scan tenant. The example runs the same offered load
+//! under each Tier-1 partitioning policy and prints the per-tenant
+//! outcome, showing what strict quotas and QoS floors buy.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use gmt::core::GmtConfig;
+use gmt::gpu::ExecutorConfig;
+use gmt::mem::TierGeometry;
+use gmt::serve::{
+    ArrivalSchedule, PartitionPolicy, ServeConfig, TenantRegistry, TenantSpec, TieredService,
+};
+use gmt::workloads::synthetic::{SequentialScan, ZipfLoop};
+use gmt::workloads::WorkloadScale;
+
+/// Pages of GPU memory the two tenants contend for.
+const TIER1_PAGES: usize = 128;
+
+fn tenants(policy: PartitionPolicy) -> TenantRegistry {
+    let mut registry = TenantRegistry::new(TIER1_PAGES, policy);
+    // An interactive tenant: skewed reuse, steady Poisson arrivals, and
+    // a 96-page working set it would like kept in Tier-1.
+    registry
+        .admit(TenantSpec {
+            name: "interactive".into(),
+            workload: Box::new(ZipfLoop::new(&WorkloadScale::pages(96), 1.0, 0.1, 4_000)),
+            arrival: ArrivalSchedule::Poisson { mean_gap_ns: 2_500 },
+            quota_pages: 96,
+            weight: 3,
+            floor_pages: 90,
+            seed: 1,
+        })
+        .expect("interactive tenant fits");
+    // A batch tenant: a big streaming scan with zero reuse, arriving in
+    // bursts — the classic noisy neighbour.
+    registry
+        .admit(TenantSpec {
+            name: "batch-scan".into(),
+            workload: Box::new(SequentialScan::new(&WorkloadScale::pages(512), 20)),
+            arrival: ArrivalSchedule::Bursty {
+                burst: 32,
+                gap_ns: 150,
+                idle_ns: 3_000,
+            },
+            quota_pages: 32,
+            weight: 1,
+            floor_pages: 8,
+            seed: 2,
+        })
+        .expect("batch tenant fits");
+    registry
+}
+
+fn main() {
+    // Tier-2 twice Tier-1; the address space covers both tenants'
+    // ranges (96 + 512 pages < 768).
+    let geometry = TierGeometry::from_tier1(TIER1_PAGES, 2.0, 2.0);
+    for policy in PartitionPolicy::ALL {
+        let config = ServeConfig {
+            gmt: GmtConfig::new(geometry),
+            partition: policy,
+        };
+        let service = TieredService::new(&config, tenants(policy)).expect("valid config");
+        let outcome = service.serve(ExecutorConfig::default(), 1 << 21);
+        println!(
+            "\n== {policy} == ({:.2} ms simulated)",
+            outcome.elapsed.as_nanos() as f64 / 1e6
+        );
+        println!("{}", outcome.report);
+    }
+    println!(
+        "\nReading the tables: under strict-quota or shared-qos the \
+         interactive tenant's hit rate barely moves when the scan hammers \
+         the hierarchy; fully-shared lets the scan churn the shared clock \
+         and the interactive tenant pays for it."
+    );
+}

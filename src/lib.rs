@@ -53,6 +53,7 @@ pub use gmt_gpu as gpu;
 pub use gmt_mem as mem;
 pub use gmt_pcie as pcie;
 pub use gmt_reuse as reuse;
+pub use gmt_serve as serve;
 pub use gmt_sim as sim;
 pub use gmt_ssd as ssd;
 pub use gmt_workloads as workloads;
