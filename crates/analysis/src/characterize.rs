@@ -1,6 +1,6 @@
 //! Workload characterization: reuse %, RRD distributions, VTD↔RD pairs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gmt_mem::{ClockList, PageId, Tier, TierGeometry};
 use gmt_reuse::{ReuseTracker, TierClassifier};
@@ -74,8 +74,8 @@ pub fn characterize(
     let classifier = TierClassifier::from_geometry(geometry);
     let mut tracker = ReuseTracker::new();
     let mut clock = ClockList::new(geometry.tier1_pages);
-    let mut pending_eviction: HashMap<PageId, u64> = HashMap::new();
-    let mut touches: HashMap<PageId, u32> = HashMap::new();
+    let mut pending_eviction: BTreeMap<PageId, u64> = BTreeMap::new();
+    let mut touches: BTreeMap<PageId, u32> = BTreeMap::new();
     let mut rrd_histogram = Histogram::new();
     let mut tier_counts = [0u64; 3];
     let mut accesses = 0u64;
@@ -182,11 +182,11 @@ pub fn eviction_rrd_series(
     geometry: &TierGeometry,
     seed: u64,
     min_evictions: usize,
-) -> HashMap<PageId, Vec<u64>> {
+) -> BTreeMap<PageId, Vec<u64>> {
     let mut tracker = ReuseTracker::new();
     let mut clock = ClockList::new(geometry.tier1_pages);
-    let mut pending: HashMap<PageId, u64> = HashMap::new();
-    let mut series: HashMap<PageId, Vec<u64>> = HashMap::new();
+    let mut pending: BTreeMap<PageId, u64> = BTreeMap::new();
+    let mut series: BTreeMap<PageId, Vec<u64>> = BTreeMap::new();
     for access in workload.trace(seed) {
         for page in access.pages.iter() {
             tracker.record(page);

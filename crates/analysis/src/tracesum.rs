@@ -221,8 +221,8 @@ pub struct TraceWindow {
 /// `t1_fill` back to back for one install, is likewise counted once.
 #[derive(Debug, Clone, Default)]
 pub struct OccupancyTracker {
-    tier1: std::collections::HashSet<u64>,
-    tier2: std::collections::HashSet<u64>,
+    tier1: std::collections::BTreeSet<u64>,
+    tier2: std::collections::BTreeSet<u64>,
 }
 
 impl OccupancyTracker {

@@ -129,6 +129,7 @@ impl GmtBuilder {
     pub fn build(&self) -> Gmt {
         match self.try_build() {
             Ok(gmt) => gmt,
+            // gmt-lint: allow(P1): documented panic; try_build is the typed-error path.
             Err(err) => panic!("invalid GMT configuration: {err}"),
         }
     }

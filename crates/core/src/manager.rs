@@ -71,6 +71,7 @@ impl BypassWindow {
     }
 
     fn push(&mut self, predicted_t3: bool) {
+        // gmt-lint: allow(P1): len == capacity > 0 guarantees a front element.
         if self.recent.len() == self.capacity && self.recent.pop_front().expect("window non-empty")
         {
             self.t3_count -= 1;
@@ -191,6 +192,7 @@ impl Gmt {
     /// the error instead.
     pub fn new(config: GmtConfig) -> Gmt {
         if let Err(err) = config.validate() {
+            // gmt-lint: allow(P1): documented panic; GmtBuilder::try_build is the typed-error path.
             panic!("invalid GMT configuration: {err}");
         }
         let g = &config.geometry;
@@ -434,6 +436,7 @@ impl Gmt {
     /// 80 % heuristic can force predicted-Tier-3 victims into Tier-2.
     fn reuse_select(&mut self) -> (PageId, Tier, Tier) {
         for _ in 0..self.config.reuse.max_skips {
+            // gmt-lint: allow(P1): eviction only runs once tier-1 is full, so the clock is non-empty.
             let candidate = self.clock.candidate().expect("tier-1 is full");
             let predicted = self.predict_tier(candidate);
             if predicted == Tier::Gpu {

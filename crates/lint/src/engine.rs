@@ -1,0 +1,101 @@
+//! The lint driver: walks the workspace, runs every rule over every
+//! file, and assembles the final [`Report`].
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Finding, Level, Report};
+use crate::lexer::lex;
+use crate::rules::{check_tokens, has_forbid_unsafe, Config, FileContext, Findings, TargetKind};
+use crate::workspace::workspace_files;
+
+/// Lints a single source string as if it lived at `rel_path`.
+///
+/// This is the unit the self-test fixtures drive: the same code path the
+/// workspace run uses, minus the filesystem. Returns the surviving
+/// findings plus the number of suppressed ones.
+pub fn check_source(
+    rel_path: &Path,
+    crate_name: &str,
+    target: TargetKind,
+    source: &str,
+    config: &Config,
+) -> (Vec<Finding>, usize) {
+    let lexed = lex(source);
+    let ctx = FileContext {
+        rel_path,
+        crate_name,
+        target,
+    };
+    let mut out = Findings::new(&lexed.suppressions);
+    check_tokens(ctx, &lexed, config, &mut out);
+    (out.findings, out.suppressed)
+}
+
+/// Lints a crate-root source string for S1 (`#![forbid(unsafe_code)]`).
+pub fn check_crate_root(rel_path: &Path, source: &str, config: &Config) -> Option<Finding> {
+    if config.level("S1") == Level::Allow {
+        return None;
+    }
+    let lexed = lex(source);
+    if has_forbid_unsafe(&lexed.tokens) {
+        return None;
+    }
+    Some(Finding {
+        rule: "S1",
+        level: config.level("S1"),
+        file: rel_path.to_path_buf(),
+        line: 1,
+        col: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]`; every workspace crate \
+                  must statically rule unsafe code out"
+            .to_string(),
+    })
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns the first I/O error from reading the manifest or a source
+/// file; individual findings never error.
+pub fn lint_workspace(root: &Path, config: &Config, include_vendor: bool) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in workspace_files(root, include_vendor)? {
+        let source = fs::read_to_string(&file.abs)?;
+        let (findings, suppressed) =
+            check_source(&file.rel, &file.crate_name, file.target, &source, config);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        if file.crate_root {
+            if let Some(f) = check_crate_root(&file.rel, &source, config) {
+                report.findings.push(f);
+            }
+        }
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn s1_fires_on_a_missing_attribute_and_respects_overrides() {
+        let rel = PathBuf::from("crates/x/src/lib.rs");
+        let config = Config::default();
+        let f = check_crate_root(&rel, "pub fn f() {}", &config).expect("missing attr");
+        assert_eq!(f.rule, "S1");
+        assert_eq!(f.level, Level::Deny);
+        assert!(check_crate_root(&rel, "#![forbid(unsafe_code)]", &config).is_none());
+        let mut relaxed = Config::default();
+        relaxed.overrides.insert("S1".to_string(), Level::Allow);
+        assert!(check_crate_root(&rel, "pub fn f() {}", &relaxed).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! `--fix` rewrites for the mechanically safe subset of the rules.
+//!
+//! Today that is exactly D3: renaming `HashMap`→`BTreeMap` and
+//! `HashSet`→`BTreeSet` (types, imports and paths all being the same
+//! identifier token) plus rewriting `with_capacity(n)` constructor calls
+//! to `new()`, which the B-tree types do not offer. D2 is deliberately
+//! excluded — inventing a seed for an unseeded RNG changes behaviour and
+//! needs a human to thread the root seed through.
+//!
+//! The rewrite is token-based: occurrences inside comments, strings and
+//! `#[cfg(test)]` regions are left untouched, as are lines carrying a
+//! `// gmt-lint: allow(D3)` suppression.
+
+use crate::lexer::{lex, TokKind};
+use crate::rules::test_mask;
+
+/// Applies the D3 rewrite to `source`, returning the new text, or `None`
+/// if nothing needed changing.
+pub fn fix_d3(source: &str) -> Option<String> {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+    // (byte range, replacement) edits, collected in source order.
+    let mut edits: Vec<(usize, usize, &str)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let replacement = match t.text.as_str() {
+            "HashMap" => "BTreeMap",
+            "HashSet" => "BTreeSet",
+            _ => continue,
+        };
+        let suppressed = lexed.suppressions.iter().any(|s| {
+            (s.line == t.line || s.line + 1 == t.line) && s.rules.iter().any(|r| r == "D3")
+        });
+        if suppressed {
+            continue;
+        }
+        edits.push((t.offset, t.len, replacement));
+        // `HashMap::with_capacity(args)` has no B-tree equivalent; the
+        // whole call collapses to `new()`.
+        if tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("with_capacity"))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let mut depth = 0usize;
+            for call in tokens.iter().skip(i + 4) {
+                if call.is_punct('(') {
+                    depth += 1;
+                } else if call.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        let start = tokens[i + 3].offset;
+                        edits.push((start, call.offset + call.len - start, "new()"));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if edits.is_empty() {
+        return None;
+    }
+    let mut out = String::with_capacity(source.len());
+    let mut cursor = 0usize;
+    for (offset, len, replacement) in edits {
+        out.push_str(&source[cursor..offset]);
+        out.push_str(replacement);
+        cursor = offset + len;
+    }
+    out.push_str(&source[cursor..]);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renames_types_imports_and_constructors() {
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   struct S { m: HashMap<u64, u32>, s: HashSet<u64> }\n\
+                   fn f() -> HashMap<u64, u32> { HashMap::with_capacity(10) }\n";
+        let fixed = fix_d3(src).expect("changes");
+        assert!(fixed.contains("use std::collections::{BTreeMap, BTreeSet};"));
+        assert!(fixed.contains("m: BTreeMap<u64, u32>, s: BTreeSet<u64>"));
+        assert!(fixed.contains("BTreeMap::new()"), "{fixed}");
+        assert!(!fixed.contains("with_capacity"));
+    }
+
+    #[test]
+    fn leaves_tests_comments_strings_and_suppressions_alone() {
+        let src = "// HashMap stays in comments\n\
+                   const DOC: &str = \"HashMap\";\n\
+                   // gmt-lint: allow(D3): intentionally hashed scratch space\n\
+                   fn scratch() { let _ = std::collections::HashMap::<u8, u8>::new(); }\n\
+                   #[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert_eq!(fix_d3(src), None, "nothing eligible to rewrite");
+    }
+
+    #[test]
+    fn nested_capacity_arguments_are_consumed_whole() {
+        let src = "fn f(n: usize) { let _ = HashSet::<u8>::new(); let _m: HashMap<u8, u8> = HashMap::with_capacity(n.max(cap(3))); }";
+        let fixed = fix_d3(src).expect("changes");
+        assert!(fixed.contains("BTreeMap::new()"), "{fixed}");
+        assert!(!fixed.contains("n.max"), "capacity expression is gone");
+        assert!(fixed.contains("BTreeSet::<u8>::new()"));
+    }
+}

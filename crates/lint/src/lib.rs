@@ -1,0 +1,41 @@
+//! # gmt-lint — repo-specific static analysis for the GMT workspace
+//!
+//! The reproduction's credibility rests on bit-reproducible simulation:
+//! golden-trace fixtures, differential tests and the multi-tenant
+//! `serve_bench` all assume a seeded run is byte-identical across
+//! machines. `gmt-lint` turns the invariants behind that assumption into
+//! a CI gate instead of tribal knowledge:
+//!
+//! * **D1 no-wall-clock** — simulation crates use virtual time only,
+//! * **D2 no-unseeded-rng** — all randomness is threaded from a seed,
+//! * **D3 no-hashmap-in-export** — export paths iterate ordered maps,
+//! * **S1 forbid-unsafe** — every crate root forbids `unsafe`,
+//! * **P1 no-panic-in-lib** — library code surfaces typed errors,
+//! * **M1 metrics-conservation** — `TieringMetrics::merge` sums every field.
+//!
+//! The analysis tokenizes with a hand-rolled lexer ([`lexer`]) rather
+//! than a parser dependency, keeping the workspace offline-buildable.
+//! Violations carry rustc-style `file:line:col` spans, can be silenced
+//! per line with `// gmt-lint: allow(<rule>): reason`, and are emitted
+//! as text or `--format json` for CI annotation. `--fix` applies the
+//! mechanically safe D3 rewrite ([`fix`]).
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p gmt-lint -- --format json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diag::{Finding, Level, Report};
+pub use engine::{check_crate_root, check_source, lint_workspace};
+pub use rules::{Config, FileContext, TargetKind, RULES};

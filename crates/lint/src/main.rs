@@ -1,0 +1,150 @@
+//! The `gmt-lint` binary: lints the workspace and exits non-zero when a
+//! deny-level finding survives.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant; // gmt-lint: allow(D1): the linter itself is host tooling, not simulation.
+
+use gmt_lint::rules::rule;
+use gmt_lint::{fix, Config, Level, RULES};
+
+const USAGE: &str = "\
+gmt-lint — determinism, tiering and export invariants for the GMT workspace
+
+USAGE:
+    gmt-lint [OPTIONS]
+
+OPTIONS:
+    --root <PATH>       Workspace root (default: nearest [workspace] above cwd)
+    --format <FMT>      Output format: text (default) or json
+    --fix               Apply the mechanically safe D3 rewrite, then re-lint
+    --allow <RULE>      Run RULE at allow level (repeatable)
+    --warn <RULE>       Run RULE at warn level (repeatable)
+    --deny <RULE>       Run RULE at deny level (repeatable)
+    --include-vendor    Also lint vendor/* stub crates
+    --list-rules        Print the rule table and exit
+    -h, --help          Print this help
+
+EXIT CODES:
+    0  no deny-level findings        1  deny-level findings
+    2  usage or I/O error
+
+Suppress a single line with `// gmt-lint: allow(<RULE>): reason`, either
+trailing the offending line or on the line directly above it.";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("gmt-lint: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut config = Config::default();
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut apply_fix = false;
+    let mut include_vendor = false;
+
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
+            }
+            "--format" => {
+                json = match args.next().as_deref() {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => return Err(format!("unknown format {other:?} (text|json)")),
+                };
+            }
+            "--fix" => apply_fix = true,
+            "--allow" | "--warn" | "--deny" => {
+                let level = Level::parse(&arg[2..]).expect("flag names are levels");
+                let id = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a rule id"))?;
+                if rule(&id).is_none() {
+                    return Err(format!("unknown rule `{id}` (try --list-rules)"));
+                }
+                config.overrides.insert(id, level);
+            }
+            "--include-vendor" => include_vendor = true,
+            "--list-rules" => {
+                for r in RULES {
+                    println!(
+                        "{:<3} {:<22} {:<5} {}",
+                        r.id, r.name, r.default_level, r.summary
+                    );
+                }
+                return Ok(true);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = env::current_dir().map_err(|e| e.to_string())?;
+            gmt_lint::workspace::find_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml above the current directory")?
+        }
+    };
+
+    let started = Instant::now();
+    let mut report =
+        gmt_lint::lint_workspace(&root, &config, include_vendor).map_err(|e| e.to_string())?;
+
+    if apply_fix {
+        let mut fixed_files = 0usize;
+        let mut d3_files: Vec<PathBuf> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "D3")
+            .map(|f| root.join(&f.file))
+            .collect();
+        d3_files.dedup();
+        for path in d3_files {
+            let source = fs::read_to_string(&path).map_err(|e| e.to_string())?;
+            if let Some(fixed) = fix::fix_d3(&source) {
+                fs::write(&path, fixed).map_err(|e| e.to_string())?;
+                fixed_files += 1;
+            }
+        }
+        if fixed_files > 0 {
+            eprintln!(
+                "gmt-lint: rewrote {fixed_files} file(s) for D3; \
+                 re-linting (run `cargo build` to confirm the rewrite compiles)"
+            );
+            report = gmt_lint::lint_workspace(&root, &config, include_vendor)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        println!("{}", report.render_text());
+        eprintln!("gmt-lint: completed in {:?}", started.elapsed());
+    }
+    Ok(!report.has_deny())
+}

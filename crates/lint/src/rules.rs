@@ -1,0 +1,607 @@
+//! The rule set: each rule encodes one invariant the reproduction's test
+//! suites already rely on, turning tribal knowledge into a CI gate.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | D1 | simulation crates use virtual time only — no `Instant`/`SystemTime` |
+//! | D2 | every RNG is seeded via `gmt_sim::rng` — no `thread_rng`/`from_entropy`/`OsRng` |
+//! | D3 | export paths iterate `BTreeMap`/`BTreeSet`, never `HashMap`/`HashSet` |
+//! | S1 | every crate root carries `#![forbid(unsafe_code)]` |
+//! | P1 | library code in `core`/`sim`/`serve` returns typed errors, not panics |
+//! | M1 | every `TieringMetrics` field is summed in `merge()` |
+//!
+//! Rules operate on the token stream from [`crate::lexer`], so comments,
+//! strings and doc examples can never produce false positives. Test code
+//! (`#[cfg(test)]` modules, `#[test]` fns, `tests/` targets) is exempt
+//! from D1/D3/P1 but *not* from D2: an unseeded RNG in a test makes the
+//! committed fixtures unreproducible, which is exactly the failure mode
+//! the lint exists to prevent.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::diag::{Finding, Level};
+use crate::lexer::{LexOutput, TokKind, Token};
+
+/// Static description of one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Short stable id used in CLI flags and suppression comments.
+    pub id: &'static str,
+    /// Kebab-case human name.
+    pub name: &'static str,
+    /// Level the rule runs at unless overridden.
+    pub default_level: Level,
+    /// One-line statement of the invariant.
+    pub summary: &'static str,
+}
+
+/// Every rule the linter knows, in report order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D1",
+        name: "no-wall-clock",
+        default_level: Level::Deny,
+        summary: "sim/gpu/ssd/pcie/core/serve run on virtual time; \
+                  std::time::{Instant, SystemTime} would leak host timing into results",
+    },
+    Rule {
+        id: "D2",
+        name: "no-unseeded-rng",
+        default_level: Level::Deny,
+        summary: "all randomness must be threaded from a seed via gmt_sim::rng; \
+                  thread_rng/from_entropy/OsRng break bit-reproducibility",
+    },
+    Rule {
+        id: "D3",
+        name: "no-hashmap-in-export",
+        default_level: Level::Deny,
+        summary: "export/serialization modules must use BTreeMap/BTreeSet so \
+                  emitted key order is stable across runs and platforms",
+    },
+    Rule {
+        id: "S1",
+        name: "forbid-unsafe",
+        default_level: Level::Deny,
+        summary: "every crate root must carry #![forbid(unsafe_code)]",
+    },
+    Rule {
+        id: "P1",
+        name: "no-panic-in-lib",
+        default_level: Level::Deny,
+        summary: "library code in core/sim/serve must surface typed errors \
+                  (like ConfigError) instead of unwrap/expect/panic!",
+    },
+    Rule {
+        id: "M1",
+        name: "metrics-conservation",
+        default_level: Level::Deny,
+        summary: "every TieringMetrics field must be summed in merge(), or \
+                  per-tenant accounting silently loses counters",
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Effective per-run rule configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Level overrides by rule id (`--allow`/`--warn`/`--deny`).
+    pub overrides: BTreeMap<String, Level>,
+}
+
+impl Config {
+    /// The level `rule_id` runs at under this configuration.
+    pub fn level(&self, rule_id: &str) -> Level {
+        self.overrides
+            .get(rule_id)
+            .copied()
+            .unwrap_or_else(|| rule(rule_id).map_or(Level::Allow, |r| r.default_level))
+    }
+}
+
+/// Which compilation target a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// `src/**` of a library crate (minus `src/bin/`).
+    Lib,
+    /// `src/bin/**` or a binary-only crate.
+    Bin,
+    /// `tests/**` integration tests.
+    Tests,
+    /// `examples/**`.
+    Example,
+    /// `benches/**`.
+    Bench,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Path relative to the workspace root (used in findings).
+    pub rel_path: &'a Path,
+    /// The member's short name: the directory under `crates/`
+    /// (`sim`, `core`, …) or `gmt` for the root facade package.
+    pub crate_name: &'a str,
+    /// The target the file compiles into.
+    pub target: TargetKind,
+}
+
+/// Crates whose runtime must never read the host clock (D1).
+const D1_CRATES: &[&str] = &["sim", "gpu", "ssd", "pcie", "core", "serve"];
+/// Crates whose library code must not panic (P1).
+const P1_CRATES: &[&str] = &["core", "sim", "serve"];
+/// File basenames that are export paths regardless of content (D3).
+const D3_EXPORT_FILES: &[&str] = &["trace.rs", "tracesum.rs", "report.rs"];
+
+/// Marks every token inside `#[cfg(test)] mod … { }` or `#[test] fn … { }`
+/// regions, so runtime rules can skip test-only code.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct('#') && matches!(tokens.get(i + 1), Some(t) if t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut is_test = false;
+        // One or more stacked attributes; any test-ish one marks the item.
+        while tokens.get(i).is_some_and(|t| t.is_punct('#'))
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut content: Vec<&Token> = Vec::new();
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth >= 1 {
+                    content.push(t);
+                }
+                j += 1;
+            }
+            let first = content.first().map(|t| t.text.as_str());
+            is_test |= first == Some("test")
+                || (first == Some("cfg") && content.iter().any(|t| t.is_ident("test")));
+            i = j + 1;
+        }
+        if !is_test {
+            continue;
+        }
+        // Find the item's body: the first `{` before any top-level `;`
+        // (attributed `use` items and the like have no body to mask).
+        let mut j = i;
+        let body_open = loop {
+            match tokens.get(j) {
+                Some(t) if t.is_punct('{') => break Some(j),
+                Some(t) if t.is_punct(';') => break None,
+                Some(_) => j += 1,
+                None => break None,
+            }
+        };
+        let Some(open) = body_open else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, t) in tokens.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        for m in mask.iter_mut().take(end + 1).skip(attr_start) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Whether a token stream belongs to a serde-deriving module (D3 scope):
+/// anything that imports serde or derives `Serialize`/`Deserialize`.
+pub fn is_serde_module(tokens: &[Token]) -> bool {
+    tokens
+        .iter()
+        .any(|t| t.is_ident("serde") || t.is_ident("Serialize") || t.is_ident("Deserialize"))
+}
+
+/// Whether a crate-root token stream carries `#![forbid(unsafe_code)]` (S1).
+pub fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    })
+}
+
+/// Runs every token-level rule over one file, appending findings.
+///
+/// S1 is workspace-shaped (it fires on a *missing* attribute in a crate
+/// root) and therefore lives in [`crate::engine`], not here.
+pub fn check_tokens(ctx: FileContext<'_>, lexed: &LexOutput, config: &Config, out: &mut Findings) {
+    let tokens = &lexed.tokens;
+    let mask = test_mask(tokens);
+    let in_tests_target = matches!(ctx.target, TargetKind::Tests | TargetKind::Bench);
+
+    // D1 — no wall clock in simulation crates' runtime code.
+    if D1_CRATES.contains(&ctx.crate_name)
+        && matches!(ctx.target, TargetKind::Lib | TargetKind::Bin)
+    {
+        for (i, t) in tokens.iter().enumerate() {
+            if mask[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "Instant" || t.text == "SystemTime" {
+                out.push(ctx, config, "D1", t, format!(
+                    "wall-clock `{}` in virtual-time crate `{}`; simulation code must derive all timing from `gmt_sim::Time`",
+                    t.text, ctx.crate_name
+                ));
+            }
+        }
+    }
+
+    // D2 — no unseeded randomness anywhere, test code included.
+    for t in tokens.iter() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "thread_rng" || t.text == "from_entropy" || t.text == "OsRng" {
+            out.push(ctx, config, "D2", t, format!(
+                "unseeded RNG source `{}`; route randomness through `gmt_sim::rng::seeded`/`derive` so runs are bit-reproducible",
+                t.text
+            ));
+        }
+    }
+
+    // D3 — hash collections are banned in export paths.
+    let basename = ctx
+        .rel_path
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_default();
+    let named_export = D3_EXPORT_FILES.contains(&basename.as_str());
+    if named_export || is_serde_module(tokens) {
+        let scope = if named_export {
+            format!("export path `{basename}`")
+        } else {
+            "serde-deriving module".to_string()
+        };
+        for (i, t) in tokens.iter().enumerate() {
+            if mask[i] || in_tests_target || t.kind != TokKind::Ident {
+                continue;
+            }
+            if t.text == "HashMap" || t.text == "HashSet" {
+                let ordered = if t.text == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                };
+                out.push(ctx, config, "D3", t, format!(
+                    "`{}` in {scope}; iteration order is nondeterministic — use `{}` so serialized key order is stable",
+                    t.text, ordered
+                ));
+            }
+        }
+    }
+
+    // P1 — library code in core/sim/serve must not panic.
+    if P1_CRATES.contains(&ctx.crate_name) && ctx.target == TargetKind::Lib {
+        for (i, t) in tokens.iter().enumerate() {
+            if mask[i] || t.kind != TokKind::Ident {
+                continue;
+            }
+            let method_call = i > 0 && tokens[i - 1].is_punct('.');
+            let bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let hit = match t.text.as_str() {
+                "unwrap" | "expect" => method_call,
+                "panic" | "todo" | "unimplemented" => bang,
+                _ => false,
+            };
+            if hit {
+                out.push(ctx, config, "P1", t, format!(
+                    "`{}` in `{}` library code; prefer a typed error (see `ConfigError`) or justify with a suppression",
+                    t.text, ctx.crate_name
+                ));
+            }
+        }
+    }
+
+    // M1 — TieringMetrics fields must be conserved by merge().
+    check_metrics_conservation(ctx, tokens, config, out);
+}
+
+/// The M1 cross-check: in any file defining `struct TieringMetrics`,
+/// every named field must appear inside the body of `fn merge` in the
+/// same file (the merge destructures-and-sums, so a field that never
+/// shows up there is silently dropped from per-tenant aggregation).
+fn check_metrics_conservation(
+    ctx: FileContext<'_>,
+    tokens: &[Token],
+    config: &Config,
+    out: &mut Findings,
+) {
+    let Some(struct_at) = tokens
+        .windows(2)
+        .position(|w| w[0].is_ident("struct") && w[1].is_ident("TieringMetrics"))
+    else {
+        return;
+    };
+    // Collect field names: idents directly followed by `:` at depth 1 of
+    // the struct body (`pub` and types never precede a `:` at depth 1).
+    let Some(open) = tokens[struct_at..].iter().position(|t| t.is_punct('{')) else {
+        return;
+    };
+    let mut fields: Vec<&Token> = Vec::new();
+    let mut depth = 0usize;
+    let mut struct_end = tokens.len();
+    for (k, t) in tokens.iter().enumerate().skip(struct_at + open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                struct_end = k;
+                break;
+            }
+        } else if depth == 1
+            && t.kind == TokKind::Ident
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct(':'))
+        {
+            fields.push(t);
+        }
+    }
+    // Find `fn merge` and gather every ident inside its body.
+    let merge_at = tokens[struct_end..]
+        .windows(2)
+        .position(|w| w[0].is_ident("fn") && w[1].is_ident("merge"))
+        .map(|p| struct_end + p);
+    let Some(merge_at) = merge_at else {
+        out.push(ctx, config, "M1", &tokens[struct_at], format!(
+            "`TieringMetrics` has no `fn merge` in this file; {} field(s) are not aggregated anywhere",
+            fields.len()
+        ));
+        return;
+    };
+    let Some(body_open) = tokens[merge_at..].iter().position(|t| t.is_punct('{')) else {
+        return;
+    };
+    let mut body_idents: Vec<&str> = Vec::new();
+    let mut depth = 0usize;
+    for t in tokens.iter().skip(merge_at + body_open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == TokKind::Ident {
+            body_idents.push(&t.text);
+        }
+    }
+    for f in fields {
+        if !body_idents.iter().any(|id| *id == f.text) {
+            out.push(ctx, config, "M1", f, format!(
+                "`TieringMetrics::{}` is never mentioned in `merge()`; merging per-tenant metrics would silently drop it",
+                f.text
+            ));
+        }
+    }
+}
+
+/// Accumulates findings for one file, applying level overrides and
+/// `// gmt-lint: allow(...)` suppressions as they are pushed.
+pub struct Findings<'a> {
+    suppressions: &'a [crate::lexer::Suppression],
+    /// Findings that survived, appended in token order.
+    pub findings: Vec<Finding>,
+    /// How many findings a suppression silenced.
+    pub suppressed: usize,
+}
+
+impl<'a> Findings<'a> {
+    /// Creates an accumulator using the file's suppression comments.
+    pub fn new(suppressions: &'a [crate::lexer::Suppression]) -> Findings<'a> {
+        Findings {
+            suppressions,
+            findings: Vec::new(),
+            suppressed: 0,
+        }
+    }
+
+    fn push(
+        &mut self,
+        ctx: FileContext<'_>,
+        config: &Config,
+        rule_id: &'static str,
+        at: &Token,
+        message: String,
+    ) {
+        let level = config.level(rule_id);
+        if level == Level::Allow {
+            return;
+        }
+        // A suppression covers its own line (trailing comment) and the
+        // line below it (standalone comment above the violation).
+        let silenced = self.suppressions.iter().any(|s| {
+            (s.line == at.line || s.line + 1 == at.line) && s.rules.iter().any(|r| r == rule_id)
+        });
+        if silenced {
+            self.suppressed += 1;
+            return;
+        }
+        self.findings.push(Finding {
+            rule: rule_id,
+            level,
+            file: ctx.rel_path.to_path_buf(),
+            line: at.line,
+            col: at.col,
+            message,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run(path: &str, crate_name: &str, target: TargetKind, src: &str) -> (Vec<Finding>, usize) {
+        let rel = PathBuf::from(path);
+        let lexed = lex(src);
+        let ctx = FileContext {
+            rel_path: &rel,
+            crate_name,
+            target,
+        };
+        let mut out = Findings::new(&lexed.suppressions);
+        check_tokens(ctx, &lexed, &Config::default(), &mut out);
+        (out.findings, out.suppressed)
+    }
+
+    #[test]
+    fn d1_fires_only_in_scoped_crates_runtime_code() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        let (in_sim, _) = run("crates/sim/src/server.rs", "sim", TargetKind::Lib, src);
+        assert_eq!(in_sim.len(), 2);
+        assert!(in_sim.iter().all(|f| f.rule == "D1"));
+        let (in_reuse, _) = run("crates/reuse/src/sampler.rs", "reuse", TargetKind::Lib, src);
+        assert!(in_reuse.is_empty(), "reuse is outside D1's scope");
+        let in_test = format!("#[cfg(test)]\nmod tests {{ {src} }}");
+        let (masked, _) = run("crates/sim/src/server.rs", "sim", TargetKind::Lib, &in_test);
+        assert!(
+            masked.is_empty(),
+            "test modules may use wall-clock deadlines"
+        );
+    }
+
+    #[test]
+    fn d2_fires_everywhere_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { let mut r = rand::thread_rng(); }\n}";
+        let (findings, _) = run("crates/reuse/src/mrc.rs", "reuse", TargetKind::Lib, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "D2");
+    }
+
+    #[test]
+    fn d3_scopes_to_export_files_and_serde_modules() {
+        let src = "use std::collections::HashMap;\nstruct S { m: HashMap<u32, u32> }";
+        let (by_name, _) = run("crates/sim/src/trace.rs", "sim", TargetKind::Lib, src);
+        assert_eq!(by_name.len(), 2, "export file flagged by basename");
+        let (plain, _) = run("crates/sim/src/events.rs", "sim", TargetKind::Lib, src);
+        assert!(plain.is_empty(), "internal module may hash");
+        let serde_src = format!("use serde::Serialize;\n{src}");
+        let (by_serde, _) = run(
+            "crates/sim/src/events.rs",
+            "sim",
+            TargetKind::Lib,
+            &serde_src,
+        );
+        assert_eq!(by_serde.len(), 2, "serde-deriving module flagged");
+    }
+
+    #[test]
+    fn p1_distinguishes_methods_macros_and_lookalikes() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n  let _ = x.unwrap_or(1);\n  if x.is_none() { panic!(\"boom\"); }\n  x.unwrap()\n}";
+        let (findings, _) = run("crates/core/src/manager.rs", "core", TargetKind::Lib, src);
+        let rules: Vec<_> = findings.iter().map(|f| (f.rule, f.line)).collect();
+        assert_eq!(
+            rules,
+            vec![("P1", 3), ("P1", 4)],
+            "unwrap_or is fine; panic! and .unwrap() are not"
+        );
+        let (bin, _) = run(
+            "crates/serve/src/bin/serve_bench.rs",
+            "serve",
+            TargetKind::Bin,
+            src,
+        );
+        assert!(bin.is_empty(), "binaries may panic");
+    }
+
+    #[test]
+    fn m1_catches_a_dropped_field() {
+        let src = "pub struct TieringMetrics { pub a: u64, pub b: u64 }\nimpl TieringMetrics { pub fn merge(&mut self, o: &Self) { self.a += o.a; } }";
+        let (findings, _) = run("crates/core/src/metrics.rs", "core", TargetKind::Lib, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "M1");
+        assert!(findings[0].message.contains("`TieringMetrics::b`"));
+        let ok = "pub struct TieringMetrics { pub a: u64 }\nimpl TieringMetrics { pub fn merge(&mut self, o: &Self) { self.a += o.a; } }";
+        let (none, _) = run("crates/core/src/metrics.rs", "core", TargetKind::Lib, ok);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn m1_requires_a_merge_fn() {
+        let src = "pub struct TieringMetrics { pub a: u64 }";
+        let (findings, _) = run("crates/core/src/metrics.rs", "core", TargetKind::Lib, src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no `fn merge`"));
+    }
+
+    #[test]
+    fn suppressions_cover_their_line_and_the_next() {
+        let trailing = "fn f() { let r = rand::thread_rng(); } // gmt-lint: allow(D2): demo";
+        let (f, s) = run("crates/sim/src/rng.rs", "sim", TargetKind::Lib, trailing);
+        assert!(f.is_empty());
+        assert_eq!(s, 1);
+        let above = "// gmt-lint: allow(D2): demo\nfn f() { let r = rand::thread_rng(); }";
+        let (f, s) = run("crates/sim/src/rng.rs", "sim", TargetKind::Lib, above);
+        assert!(f.is_empty());
+        assert_eq!(s, 1);
+        let wrong_rule = "// gmt-lint: allow(D1)\nfn f() { let r = rand::thread_rng(); }";
+        let (f, _) = run("crates/sim/src/rng.rs", "sim", TargetKind::Lib, wrong_rule);
+        assert_eq!(f.len(), 1, "allow(D1) must not silence D2");
+    }
+
+    #[test]
+    fn forbid_unsafe_detection() {
+        assert!(has_forbid_unsafe(
+            &lex("#![forbid(unsafe_code)]\nfn f() {}").tokens
+        ));
+        assert!(has_forbid_unsafe(
+            &lex("//! docs\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]").tokens
+        ));
+        assert!(!has_forbid_unsafe(&lex("#![deny(unsafe_code)]").tokens));
+        assert!(!has_forbid_unsafe(
+            &lex("// #![forbid(unsafe_code)]").tokens
+        ));
+    }
+
+    #[test]
+    fn config_overrides_change_levels() {
+        let mut config = Config::default();
+        config.overrides.insert("P1".to_string(), Level::Allow);
+        let rel = PathBuf::from("crates/core/src/x.rs");
+        let lexed = lex("fn f(x: Option<u32>) { x.unwrap(); }");
+        let ctx = FileContext {
+            rel_path: &rel,
+            crate_name: "core",
+            target: TargetKind::Lib,
+        };
+        let mut out = Findings::new(&lexed.suppressions);
+        check_tokens(ctx, &lexed, &config, &mut out);
+        assert!(out.findings.is_empty(), "allow override drops findings");
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: linted as if it were library code in `crates/sim/` — the one
+// wall-clock mention below must produce exactly one D1 finding.
+
+pub fn elapsed_ns() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,7 @@
+// Fixture: linted as library code in `crates/reuse/` — the thread_rng
+// call must produce exactly one D2 finding (reuse is outside D1/P1).
+
+pub fn noise() -> u64 {
+    use rand::Rng;
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,19 @@
+// Fixture: a serde-deriving module in `crates/analysis/` — the one
+// HashMap mention must produce exactly one D3 finding. The commented
+// and quoted mentions below must stay silent.
+
+use serde::Serialize;
+
+// HashMap in a comment is not a finding.
+pub const NOTE: &str = "HashMap in a string is not a finding";
+
+#[derive(Serialize)]
+pub struct Export {
+    pub rows: Vec<(u64, u64)>,
+}
+
+pub fn build(rows: std::collections::HashMap<u64, u64>) -> Export {
+    let mut rows: Vec<(u64, u64)> = rows.into_iter().collect();
+    rows.sort_unstable();
+    Export { rows }
+}

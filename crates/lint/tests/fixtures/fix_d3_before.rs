@@ -1,0 +1,33 @@
+// Fixture pair: `--fix` input. The rewrite must rename the hash
+// collections, collapse with_capacity into new, and leave the test
+// module, comments and suppressed line untouched. Expected output is
+// fix_d3_after.rs.
+
+use serde::Serialize;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Serialize)]
+pub struct Summary {
+    pub by_page: HashMap<u64, u64>,
+    pub seen: HashSet<u64>,
+}
+
+pub fn collect(n: usize) -> Summary {
+    // HashMap stays put in comments.
+    let by_page: HashMap<u64, u64> = HashMap::with_capacity(n.max(16));
+    let seen: HashSet<u64> = HashSet::new();
+    // gmt-lint: allow(D3): scratch space that is never serialized.
+    let _scratch = std::collections::HashMap::<u64, u64>::new();
+    Summary {
+        by_page,
+        seen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_keeps_hashing() {
+        let _ = std::collections::HashMap::<u64, u64>::new();
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: a TieringMetrics definition whose merge() forgot the field
+// added last — must produce exactly one M1 finding naming `new_counter`.
+
+pub struct TieringMetrics {
+    pub t1_hits: u64,
+    pub t1_misses: u64,
+    pub new_counter: u64,
+}
+
+impl TieringMetrics {
+    pub fn merge(&mut self, other: &TieringMetrics) {
+        self.t1_hits += other.t1_hits;
+        self.t1_misses += other.t1_misses;
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: linted as library code in `crates/core/` — the .unwrap()
+// must produce exactly one P1 finding; unwrap_or and the test module
+// below must stay silent.
+
+pub fn pick(values: &[u64]) -> u64 {
+    let relaxed = values.first().copied().unwrap_or(0);
+    let strict = values.first().copied().unwrap();
+    relaxed.max(strict)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::pick(&[3]).checked_mul(2).unwrap(), 6);
+    }
+}

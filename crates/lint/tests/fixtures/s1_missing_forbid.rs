@@ -1,0 +1,7 @@
+//! Fixture: a crate root whose lint-relevant attribute is absent — must
+//! produce exactly one S1 finding. (`deny` is not `forbid`: it can be
+//! overridden further down the tree, so it does not satisfy the rule.)
+
+#![deny(unsafe_code)]
+
+pub fn noop() {}

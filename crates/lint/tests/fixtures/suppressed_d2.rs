@@ -1,0 +1,8 @@
+// Fixture: a planted D2 violation silenced by the suppression comment —
+// must produce zero findings and exactly one suppression.
+
+pub fn entropy_probe() -> u64 {
+    use rand::Rng;
+    // gmt-lint: allow(D2): fixture demonstrating the suppression syntax.
+    rand::thread_rng().gen()
+}

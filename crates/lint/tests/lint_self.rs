@@ -1,0 +1,203 @@
+//! The lint's own acceptance suite: every fixture trips exactly the rule
+//! it was planted for, the real workspace is clean at deny level, the
+//! suppression syntax works, and `--fix` reproduces the committed
+//! after-image byte for byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gmt_lint::rules::rule;
+use gmt_lint::{check_crate_root, check_source, fix, Config, Level, Report, TargetKind};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the root")
+        .to_path_buf()
+}
+
+/// (fixture file, pretend path, crate, target, rule it must trip).
+const PLANTED: &[(&str, &str, &str, TargetKind, &str)] = &[
+    (
+        "d1_wall_clock.rs",
+        "crates/sim/src/clocky.rs",
+        "sim",
+        TargetKind::Lib,
+        "D1",
+    ),
+    (
+        "d2_unseeded_rng.rs",
+        "crates/reuse/src/noise.rs",
+        "reuse",
+        TargetKind::Lib,
+        "D2",
+    ),
+    (
+        "d3_hashmap_export.rs",
+        "crates/analysis/src/export.rs",
+        "analysis",
+        TargetKind::Lib,
+        "D3",
+    ),
+    (
+        "p1_panic_in_lib.rs",
+        "crates/core/src/pick.rs",
+        "core",
+        TargetKind::Lib,
+        "P1",
+    ),
+    (
+        "m1_metrics_drift.rs",
+        "crates/core/src/metrics.rs",
+        "core",
+        TargetKind::Lib,
+        "M1",
+    ),
+];
+
+#[test]
+fn each_fixture_trips_exactly_its_rule_at_deny() {
+    for (file, path, crate_name, target, expected) in PLANTED {
+        let source = fixture(file);
+        let (findings, suppressed) = check_source(
+            Path::new(path),
+            crate_name,
+            *target,
+            &source,
+            &Config::default(),
+        );
+        assert_eq!(
+            findings.len(),
+            1,
+            "{file} must plant exactly one violation, got {findings:#?}"
+        );
+        assert_eq!(findings[0].rule, *expected, "{file}");
+        assert_eq!(findings[0].level, Level::Deny, "{file}");
+        assert_eq!(suppressed, 0, "{file}");
+    }
+}
+
+/// The red-run demonstration: any planted regression makes the report a
+/// failing one, which is exactly what flips CI red.
+#[test]
+fn a_planted_regression_fails_the_run() {
+    for (file, path, crate_name, target, expected) in PLANTED {
+        let source = fixture(file);
+        let (findings, _) = check_source(
+            Path::new(path),
+            crate_name,
+            *target,
+            &source,
+            &Config::default(),
+        );
+        let report = Report {
+            findings,
+            suppressed: 0,
+            files_scanned: 1,
+        };
+        assert!(
+            report.has_deny(),
+            "{file}: rule {expected} must fail a deny-level run"
+        );
+        assert!(report.render_json().contains("\"ok\":false"));
+    }
+}
+
+#[test]
+fn s1_fixture_trips_on_a_missing_forbid() {
+    let source = fixture("s1_missing_forbid.rs");
+    let finding = check_crate_root(
+        Path::new("crates/x/src/lib.rs"),
+        &source,
+        &Config::default(),
+    )
+    .expect("deny(unsafe_code) is not forbid(unsafe_code)");
+    assert_eq!(finding.rule, "S1");
+    assert_eq!(finding.level, Level::Deny);
+    // And the same content is silent for every token rule.
+    let (findings, _) = check_source(
+        Path::new("crates/x/src/lib.rs"),
+        "x",
+        TargetKind::Lib,
+        &source,
+        &Config::default(),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn allow_comment_suppresses_a_planted_violation() {
+    let source = fixture("suppressed_d2.rs");
+    let (findings, suppressed) = check_source(
+        Path::new("crates/reuse/src/noise.rs"),
+        "reuse",
+        TargetKind::Lib,
+        &source,
+        &Config::default(),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+    assert_eq!(suppressed, 1, "the suppression must be counted, not lost");
+}
+
+#[test]
+fn fix_rewrites_before_into_after_byte_for_byte() {
+    let before = fixture("fix_d3_before.rs");
+    let after = fixture("fix_d3_after.rs");
+    let fixed = fix::fix_d3(&before).expect("the before-image has violations");
+    assert_eq!(
+        fixed, after,
+        "--fix must reproduce the committed after-image"
+    );
+    assert_eq!(
+        fix::fix_d3(&after),
+        None,
+        "the after-image is already clean"
+    );
+}
+
+/// The workspace itself must hold every invariant the lint enforces —
+/// this is the test that keeps it that way.
+#[test]
+fn real_workspace_is_clean_at_deny_level() {
+    let report = gmt_lint::lint_workspace(&repo_root(), &Config::default(), false)
+        .expect("workspace walk succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 100, "the walk must cover the tree");
+    assert!(
+        report.suppressed > 0,
+        "the documented invariant panics carry suppressions"
+    );
+}
+
+/// ISSUE 4 requires the full pass to stay interactive (<2 s); the walk
+/// plus lexing currently takes well under half a second.
+#[test]
+fn full_workspace_pass_is_fast() {
+    let started = std::time::Instant::now();
+    let _ = gmt_lint::lint_workspace(&repo_root(), &Config::default(), false).unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(2),
+        "lint pass took {:?}",
+        started.elapsed()
+    );
+}
+
+#[test]
+fn every_planted_rule_is_registered() {
+    for (_, _, _, _, id) in PLANTED {
+        assert!(rule(id).is_some(), "rule {id} missing from RULES");
+    }
+    assert!(rule("S1").is_some());
+}

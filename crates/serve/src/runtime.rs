@@ -73,6 +73,7 @@ impl BypassWindow {
     }
 
     fn push(&mut self, predicted_t3: bool) {
+        // gmt-lint: allow(P1): len == capacity > 0 guarantees a front element.
         if self.recent.len() == self.capacity && self.recent.pop_front().expect("window non-empty")
         {
             self.t3_count -= 1;
@@ -312,6 +313,7 @@ impl TieredService {
             .tenants
             .partition_point(|t| t.base <= page.0)
             .checked_sub(1)
+            // gmt-lint: allow(P1): documented panic for out-of-range pages.
             .expect("page below every tenant base");
         let t = &self.tenants[i];
         assert!(
@@ -553,9 +555,11 @@ impl TieredService {
             .max_by(|(_, a), (_, b)| {
                 let ka = a.resident as f64 / a.weight as f64;
                 let kb = b.resident as f64 / b.weight as f64;
+                // gmt-lint: allow(P1): weights are validated non-zero, so ratios are never NaN.
                 ka.partial_cmp(&kb).expect("ratios are finite")
             })
             .map(|(i, _)| i)
+            // gmt-lint: allow(P1): eviction only runs once tier-1 is full, so a tenant has pages.
             .expect("eviction requested from an empty tier-1")
     }
 
@@ -566,6 +570,7 @@ impl TieredService {
             let candidate = self
                 .clock_mut(victim_tenant)
                 .candidate()
+                // gmt-lint: allow(P1): the victim tenant was chosen for having resident pages.
                 .expect("victim tenant's clock is non-empty");
             let predicted = self.predict_tier(candidate);
             if predicted == Tier::Gpu {
@@ -600,6 +605,7 @@ impl TieredService {
             let candidate = self
                 .clock_mut(faulting)
                 .candidate()
+                // gmt-lint: allow(P1): eviction only runs once the shared tier-1 is full.
                 .expect("shared clock is non-empty");
             let owner = self.tenant_of(candidate).index();
             if qos && owner != faulting && self.tenants[owner].resident <= self.tenants[owner].floor
