@@ -12,7 +12,11 @@
 //!   Tier-1/Tier-2 occupancy, PCIe traffic and peak SSD queue depth, for
 //!   warm-up timelines and figure binaries,
 //! * [`queue_depth_percentiles`] — the distribution of instantaneous SSD
-//!   queue depth over the run.
+//!   queue depth over the run,
+//! * [`ring_depth_percentiles`] — the same distribution for the NVMe
+//!   submission/completion rings ([`TraceEvent::RingSubmit`] /
+//!   [`TraceEvent::RingComplete`]), whose occupancy exceeds any single
+//!   device queue once commands fan out across channels.
 //!
 //! All summaries assume the capturing ring was large enough that nothing
 //! was dropped ([`TraceSink::dropped`](gmt_sim::trace::TraceSink::dropped)
@@ -61,6 +65,14 @@ pub struct TraceCounters {
     pub predictions: u64,
     /// ... of which were graded correct.
     pub predictions_correct: u64,
+    /// `warp_access` events that were loads.
+    pub warp_reads: u64,
+    /// `warp_access` events that were stores.
+    pub warp_writes: u64,
+    /// `ring_submit` events (NVMe submission-ring pushes).
+    pub ring_submits: u64,
+    /// `ring_complete` events (NVMe completion-ring reaps).
+    pub ring_completes: u64,
 }
 
 impl TraceCounters {
@@ -85,6 +97,10 @@ impl TraceCounters {
                 self.predictions += 1;
                 self.predictions_correct += u64::from(*correct);
             }
+            TraceEvent::WarpAccess { write: false, .. } => self.warp_reads += 1,
+            TraceEvent::WarpAccess { write: true, .. } => self.warp_writes += 1,
+            TraceEvent::RingSubmit { .. } => self.ring_submits += 1,
+            TraceEvent::RingComplete { .. } => self.ring_completes += 1,
             _ => {}
         }
     }
@@ -336,6 +352,37 @@ pub fn queue_depth_percentiles(records: &[TraceRecord], percentiles: &[f64]) -> 
         return Vec::new();
     }
     samples.sort_unstable();
+    nearest_rank(&samples, percentiles)
+}
+
+/// Nearest-rank percentiles of NVMe *ring* occupancy over the run.
+///
+/// Samples every [`TraceEvent::RingSubmit`]/[`TraceEvent::RingComplete`]
+/// occupancy, the submission/completion-ring analogue of
+/// [`queue_depth_percentiles`]'s device view: the ring runs deeper than
+/// any single device queue whenever commands fan out across channels.
+/// Returns an empty vector when the stream holds no ring events.
+///
+/// # Panics
+///
+/// Panics if any requested percentile lies outside `[0, 100]`.
+pub fn ring_depth_percentiles(records: &[TraceRecord], percentiles: &[f64]) -> Vec<u32> {
+    let mut samples: Vec<u32> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::RingSubmit { queue_depth, .. }
+            | TraceEvent::RingComplete { queue_depth, .. } => Some(queue_depth),
+            _ => None,
+        })
+        .collect();
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    samples.sort_unstable();
+    nearest_rank(&samples, percentiles)
+}
+
+fn nearest_rank(samples: &[u32], percentiles: &[f64]) -> Vec<u32> {
     percentiles
         .iter()
         .map(|&p| {
@@ -603,6 +650,49 @@ mod tests {
         let p = queue_depth_percentiles(&records, &[50.0, 99.0, 100.0]);
         assert_eq!(p, vec![50, 99, 100]);
         assert!(queue_depth_percentiles(&[], &[50.0]).is_empty());
+    }
+
+    #[test]
+    fn ring_and_warp_events_are_counted_not_swallowed() {
+        let records = vec![
+            rec(
+                1,
+                TraceEvent::WarpAccess {
+                    page: 3,
+                    write: false,
+                },
+            ),
+            rec(
+                2,
+                TraceEvent::WarpAccess {
+                    page: 4,
+                    write: true,
+                },
+            ),
+            rec(
+                3,
+                TraceEvent::RingSubmit {
+                    cid: 1,
+                    write: false,
+                    queue_depth: 4,
+                },
+            ),
+            rec(
+                4,
+                TraceEvent::RingComplete {
+                    cid: 1,
+                    queue_depth: 3,
+                },
+            ),
+        ];
+        let c = counters_from_trace(&records);
+        assert_eq!(c.warp_reads, 1);
+        assert_eq!(c.warp_writes, 1);
+        assert_eq!(c.ring_submits, 1);
+        assert_eq!(c.ring_completes, 1);
+        let p = ring_depth_percentiles(&records, &[50.0, 100.0]);
+        assert_eq!(p, vec![3, 4]);
+        assert!(ring_depth_percentiles(&[], &[50.0]).is_empty());
     }
 
     fn tenant_rec(t: u64, tenant: u32, event: TraceEvent) -> TraceRecord {

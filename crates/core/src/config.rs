@@ -103,6 +103,7 @@ pub struct ReuseConfig {
     /// Maximum short-reuse candidates skipped per eviction before the
     /// clock's pick is evicted regardless (guards against livelock when
     /// every resident page predicts short-reuse).
+    // gmt-lint: allow(C1): zero legitimately disables skipping, so every usize is valid.
     pub max_skips: usize,
 }
 
@@ -151,6 +152,16 @@ pub enum ConfigError {
     ZeroBypassWindow,
     /// Tier-3 is striped over zero SSD devices.
     ZeroSsdDevices,
+    /// The SSD timing model rejected one of its knobs.
+    InvalidSsd {
+        /// The device model's description of the bad knob.
+        reason: &'static str,
+    },
+    /// The PCIe link calibration rejected one of its knobs.
+    InvalidHostLink {
+        /// The link model's description of the bad knob.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -180,6 +191,8 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSsdDevices => {
                 write!(f, "tier-3 must stripe over at least one SSD device")
             }
+            ConfigError::InvalidSsd { reason } => write!(f, "ssd: {reason}"),
+            ConfigError::InvalidHostLink { reason } => write!(f, "host link: {reason}"),
         }
     }
 }
@@ -232,6 +245,7 @@ pub struct GmtConfig {
     /// orchestration. Defaults to `false` (the published behaviour).
     pub async_eviction: bool,
     /// Seed for GMT-Random's coin and any other stochastic choice.
+    // gmt-lint: allow(C1): any u64 is a valid PRNG seed; there is no range to check.
     pub seed: u64,
 }
 
@@ -318,6 +332,12 @@ impl GmtConfig {
         if self.ssd_devices == 0 {
             return Err(ConfigError::ZeroSsdDevices);
         }
+        self.ssd
+            .validate()
+            .map_err(|reason| ConfigError::InvalidSsd { reason })?;
+        self.host_link
+            .validate()
+            .map_err(|reason| ConfigError::InvalidHostLink { reason })?;
         Ok(())
     }
 
@@ -417,6 +437,24 @@ mod tests {
             ..GmtConfig::default()
         };
         assert_eq!(devices.validate(), Err(ConfigError::ZeroSsdDevices));
+
+        let mut ssd = GmtConfig::default();
+        ssd.ssd.channels = 0;
+        assert_eq!(
+            ssd.validate(),
+            Err(ConfigError::InvalidSsd {
+                reason: "channels must be at least one flash channel",
+            })
+        );
+
+        let mut link = GmtConfig::default();
+        link.host_link.link_bytes_per_sec = 0.0;
+        assert_eq!(
+            link.validate(),
+            Err(ConfigError::InvalidHostLink {
+                reason: "link_bytes_per_sec must be finite and positive",
+            })
+        );
     }
 
     #[test]

@@ -73,6 +73,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Findings silenced by `// gmt-lint: allow(...)` comments.
     pub suppressed: usize,
+    /// Findings silenced by a `--baseline` snapshot.
+    pub baselined: usize,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
@@ -104,6 +106,9 @@ impl Report {
             self.suppressed,
             self.files_scanned,
         );
+        if self.baselined > 0 {
+            let _ = write!(out, ", {} baselined", self.baselined);
+        }
         out
     }
 
@@ -130,8 +135,9 @@ impl Report {
         }
         let _ = write!(
             out,
-            "],\"suppressed\":{},\"files_scanned\":{},\"ok\":{}}}",
+            "],\"suppressed\":{},\"baselined\":{},\"files_scanned\":{},\"ok\":{}}}",
             self.suppressed,
+            self.baselined,
             self.files_scanned,
             !self.has_deny(),
         );
@@ -140,7 +146,7 @@ impl Report {
 }
 
 /// Escapes `s` as a JSON string literal, quotes included.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -1,48 +1,56 @@
-//! The lint driver: walks the workspace, runs every rule over every
-//! file, and assembles the final [`Report`].
+//! The lint driver: walks the workspace, runs the token rules and the
+//! semantic (AST + symbol-table) rules over every file, and assembles
+//! the final [`Report`].
+//!
+//! The workspace run is a four-pass pipeline:
+//!
+//! 1. read + lex + parse every member file into [`AnalyzedFile`]s,
+//! 2. build the workspace [`Symbols`] table,
+//! 3. per file: token rules (D1/D2/D3/P1/M1), S1 on crate roots, and
+//!    the U1 unit-dimension walker (which needs the global fn table),
+//! 4. workspace-wide C1 config-coverage and T1 trace-schema checks.
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
 use crate::diag::{Finding, Level, Report};
-use crate::lexer::lex;
-use crate::rules::{check_tokens, has_forbid_unsafe, Config, FileContext, Findings, TargetKind};
+use crate::rules::{
+    check_config_coverage, check_tokens, check_trace_schema, check_unit_dimensions,
+    has_forbid_unsafe, Config, FileContext, Findings, TargetKind,
+};
+use crate::symbols::{build_symbols, AnalyzedFile, Symbols};
 use crate::workspace::workspace_files;
 
-/// Lints a single source string as if it lived at `rel_path`.
-///
-/// This is the unit the self-test fixtures drive: the same code path the
-/// workspace run uses, minus the filesystem. Returns the surviving
-/// findings plus the number of suppressed ones.
-pub fn check_source(
-    rel_path: &Path,
-    crate_name: &str,
-    target: TargetKind,
-    source: &str,
-    config: &Config,
-) -> (Vec<Finding>, usize) {
-    let lexed = lex(source);
-    let ctx = FileContext {
-        rel_path,
-        crate_name,
-        target,
-    };
-    let mut out = Findings::new(&lexed.suppressions);
-    check_tokens(ctx, &lexed, config, &mut out);
-    (out.findings, out.suppressed)
+fn context<'a>(file: &'a AnalyzedFile) -> FileContext<'a> {
+    FileContext {
+        rel_path: &file.rel,
+        crate_name: &file.crate_name,
+        target: file.target,
+    }
 }
 
-/// Lints a crate-root source string for S1 (`#![forbid(unsafe_code)]`).
-pub fn check_crate_root(rel_path: &Path, source: &str, config: &Config) -> Option<Finding> {
-    if config.level("S1") == Level::Allow {
-        return None;
+/// Runs every per-file rule over one analyzed file.
+fn check_file(file: &AnalyzedFile, syms: &Symbols, config: &Config, report: &mut Report) {
+    let ctx = context(file);
+    let mut out = Findings::new(&file.lexed.suppressions);
+    check_tokens(ctx, &file.lexed, config, &mut out);
+    check_unit_dimensions(ctx, file, syms, config, &mut out, None);
+    report.findings.extend(out.findings);
+    report.suppressed += out.suppressed;
+    if file.crate_root
+        && config.level("S1") != Level::Allow
+        && !has_forbid_unsafe(&file.lexed.tokens)
+    {
+        report
+            .findings
+            .push(missing_forbid_unsafe(&file.rel, config));
     }
-    let lexed = lex(source);
-    if has_forbid_unsafe(&lexed.tokens) {
-        return None;
-    }
-    Some(Finding {
+    report.files_scanned += 1;
+}
+
+fn missing_forbid_unsafe(rel_path: &Path, config: &Config) -> Finding {
+    Finding {
         rule: "S1",
         level: config.level("S1"),
         file: rel_path.to_path_buf(),
@@ -51,7 +59,87 @@ pub fn check_crate_root(rel_path: &Path, source: &str, config: &Config) -> Optio
         message: "crate root is missing `#![forbid(unsafe_code)]`; every workspace crate \
                   must statically rule unsafe code out"
             .to_string(),
-    })
+    }
+}
+
+/// Lints a single source string as if it lived at `rel_path`.
+///
+/// This is the unit the self-test fixtures drive: the same rule set the
+/// workspace run uses, minus the filesystem, with the file acting as its
+/// own one-file workspace for the symbol-table rules. Returns the
+/// surviving findings plus the number of suppressed ones.
+pub fn check_source(
+    rel_path: &Path,
+    crate_name: &str,
+    target: TargetKind,
+    source: &str,
+    config: &Config,
+) -> (Vec<Finding>, usize) {
+    let files = [AnalyzedFile::analyze(
+        rel_path.to_path_buf(),
+        crate_name.to_string(),
+        target,
+        false,
+        source,
+    )];
+    let syms = build_symbols(&files);
+    let mut report = Report::default();
+    check_file(&files[0], &syms, config, &mut report);
+    let (c1, c1_suppressed) = check_config_coverage(&files, &syms, config);
+    let (t1, t1_suppressed) = check_trace_schema(&files, &syms, config);
+    report.findings.extend(c1);
+    report.findings.extend(t1);
+    report.suppressed += c1_suppressed + t1_suppressed;
+    sort_findings(&mut report.findings);
+    (report.findings, report.suppressed)
+}
+
+/// Lints a crate-root source string for S1 (`#![forbid(unsafe_code)]`).
+pub fn check_crate_root(rel_path: &Path, source: &str, config: &Config) -> Option<Finding> {
+    if config.level("S1") == Level::Allow {
+        return None;
+    }
+    let lexed = crate::lexer::lex(source);
+    if has_forbid_unsafe(&lexed.tokens) {
+        return None;
+    }
+    Some(missing_forbid_unsafe(rel_path, config))
+}
+
+/// Reads, lexes and parses every workspace member file.
+///
+/// # Errors
+///
+/// Returns the first I/O error from the manifest walk or a source read.
+pub fn load_workspace(root: &Path, include_vendor: bool) -> io::Result<Vec<AnalyzedFile>> {
+    let mut files = Vec::new();
+    for file in workspace_files(root, include_vendor)? {
+        let source = fs::read_to_string(&file.abs)?;
+        files.push(AnalyzedFile::analyze(
+            file.rel,
+            file.crate_name,
+            file.target,
+            file.crate_root,
+            &source,
+        ));
+    }
+    Ok(files)
+}
+
+/// Lints a pre-loaded set of files as one workspace.
+pub fn lint_files(files: &[AnalyzedFile], config: &Config) -> Report {
+    let syms = build_symbols(files);
+    let mut report = Report::default();
+    for file in files {
+        check_file(file, &syms, config, &mut report);
+    }
+    let (c1, c1_suppressed) = check_config_coverage(files, &syms, config);
+    let (t1, t1_suppressed) = check_trace_schema(files, &syms, config);
+    report.findings.extend(c1);
+    report.findings.extend(t1);
+    report.suppressed += c1_suppressed + t1_suppressed;
+    sort_findings(&mut report.findings);
+    report
 }
 
 /// Lints the whole workspace rooted at `root`.
@@ -61,24 +149,13 @@ pub fn check_crate_root(rel_path: &Path, source: &str, config: &Config) -> Optio
 /// Returns the first I/O error from reading the manifest or a source
 /// file; individual findings never error.
 pub fn lint_workspace(root: &Path, config: &Config, include_vendor: bool) -> io::Result<Report> {
-    let mut report = Report::default();
-    for file in workspace_files(root, include_vendor)? {
-        let source = fs::read_to_string(&file.abs)?;
-        let (findings, suppressed) =
-            check_source(&file.rel, &file.crate_name, file.target, &source, config);
-        report.findings.extend(findings);
-        report.suppressed += suppressed;
-        if file.crate_root {
-            if let Some(f) = check_crate_root(&file.rel, &source, config) {
-                report.findings.push(f);
-            }
-        }
-        report.files_scanned += 1;
-    }
-    report
-        .findings
+    let files = load_workspace(root, include_vendor)?;
+    Ok(lint_files(&files, config))
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(report)
 }
 
 #[cfg(test)]
@@ -92,10 +169,10 @@ mod tests {
         let config = Config::default();
         let f = check_crate_root(&rel, "pub fn f() {}", &config).expect("missing attr");
         assert_eq!(f.rule, "S1");
-        assert_eq!(f.level, Level::Deny);
-        assert!(check_crate_root(&rel, "#![forbid(unsafe_code)]", &config).is_none());
         let mut relaxed = Config::default();
-        relaxed.overrides.insert("S1".to_string(), Level::Allow);
+        relaxed
+            .overrides
+            .insert("S1".to_string(), crate::diag::Level::Allow);
         assert!(check_crate_root(&rel, "pub fn f() {}", &relaxed).is_none());
     }
 }

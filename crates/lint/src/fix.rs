@@ -1,18 +1,23 @@
 //! `--fix` rewrites for the mechanically safe subset of the rules.
 //!
-//! Today that is exactly D3: renaming `HashMap`→`BTreeMap` and
+//! Two rules rewrite today. D3 renames `HashMap`→`BTreeMap` and
 //! `HashSet`→`BTreeSet` (types, imports and paths all being the same
 //! identifier token) plus rewriting `with_capacity(n)` constructor calls
-//! to `new()`, which the B-tree types do not offer. D2 is deliberately
-//! excluded — inventing a seed for an unseeded RNG changes behaviour and
-//! needs a human to thread the root seed through.
+//! to `new()`, which the B-tree types do not offer. U1 applies the two
+//! conversions the walker proves safe: appending `* 1_000`-style
+//! multipliers where a coarse unit flows into a finer slot, and wrapping
+//! raw suffixed values in `Dur::from_…` where they initialize a
+//! `Dur`-typed field. D2 is deliberately excluded — inventing a seed for
+//! an unseeded RNG changes behaviour and needs a human to thread the
+//! root seed through.
 //!
-//! The rewrite is token-based: occurrences inside comments, strings and
+//! The rewrites are token-based: occurrences inside comments, strings and
 //! `#[cfg(test)]` regions are left untouched, as are lines carrying a
-//! `// gmt-lint: allow(D3)` suppression.
+//! `// gmt-lint: allow(...)` suppression.
 
 use crate::lexer::{lex, TokKind};
-use crate::rules::test_mask;
+use crate::rules::{check_unit_dimensions, test_mask, Config, FileContext, Findings, U1FixKind};
+use crate::symbols::{AnalyzedFile, Symbols};
 
 /// Applies the D3 rewrite to `source`, returning the new text, or `None`
 /// if nothing needed changing.
@@ -76,9 +81,103 @@ pub fn fix_d3(source: &str) -> Option<String> {
     Some(out)
 }
 
+/// Applies the safe U1 conversions to `source`, which must be the exact
+/// text `file` was analyzed from. `syms` supplies the workspace-wide
+/// function and struct tables the walker consults, so `Dur`-typed fields
+/// defined in other files still get their wrap.
+///
+/// Returns the rewritten text, or `None` if no fix applied. Suppressed
+/// findings never produce a fix, and neither do expressions that bind
+/// looser than `*` (where an appended multiplier would change parse).
+pub fn fix_u1(
+    source: &str,
+    file: &AnalyzedFile,
+    syms: &Symbols,
+    config: &Config,
+) -> Option<String> {
+    let ctx = FileContext {
+        rel_path: &file.rel,
+        crate_name: &file.crate_name,
+        target: file.target,
+    };
+    let mut out = Findings::new(&file.lexed.suppressions);
+    let mut fixes = Vec::new();
+    check_unit_dimensions(ctx, file, syms, config, &mut out, Some(&mut fixes));
+    if fixes.is_empty() {
+        return None;
+    }
+    let toks = &file.lexed.tokens;
+    // (byte offset, inserted text) — pure insertions, applied in order.
+    let mut edits: Vec<(usize, String)> = Vec::new();
+    for fix in &fixes {
+        let (Some(first), Some(last)) = (toks.get(fix.lo_tok), toks.get(fix.hi_tok - 1)) else {
+            continue;
+        };
+        let end = last.offset + last.len;
+        match fix.kind {
+            U1FixKind::Mul(mult) => edits.push((end, format!(" * {mult}"))),
+            U1FixKind::WrapDur(ctor) => {
+                edits.push((first.offset, format!("Dur::{ctor}(")));
+                edits.push((end, ")".to_string()));
+            }
+        }
+    }
+    edits.sort_by_key(|(offset, _)| *offset);
+    let mut rewritten = String::with_capacity(source.len() + 16 * edits.len());
+    let mut cursor = 0usize;
+    for (offset, text) in edits {
+        rewritten.push_str(&source[cursor..offset]);
+        rewritten.push_str(&text);
+        cursor = offset;
+    }
+    rewritten.push_str(&source[cursor..]);
+    Some(rewritten)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rules::TargetKind;
+    use crate::symbols::build_symbols;
+    use std::path::PathBuf;
+
+    fn fixed_u1(source: &str) -> Option<String> {
+        let files = [AnalyzedFile::analyze(
+            PathBuf::from("crates/x/src/lib.rs"),
+            "x".to_string(),
+            TargetKind::Lib,
+            false,
+            source,
+        )];
+        let syms = build_symbols(&files);
+        fix_u1(source, &files[0], &syms, &Config::default())
+    }
+
+    #[test]
+    fn multiplies_coarse_units_into_finer_slots() {
+        let src = "fn f(delay_us: u64) { let mut total_ns: u64 = 0; total_ns = delay_us; }";
+        let fixed = fixed_u1(src).expect("changes");
+        assert!(fixed.contains("total_ns = delay_us * 1_000;"), "{fixed}");
+    }
+
+    #[test]
+    fn wraps_raw_values_flowing_into_dur_fields() {
+        let src = "struct Knobs { timeout: Dur }\n\
+                   fn f(budget_ms: u64) -> Knobs { Knobs { timeout: budget_ms } }";
+        let fixed = fixed_u1(src).expect("changes");
+        assert!(
+            fixed.contains("timeout: Dur::from_millis(budget_ms)"),
+            "{fixed}"
+        );
+    }
+
+    #[test]
+    fn suppressed_findings_are_not_rewritten() {
+        let src = "fn f(delay_us: u64) {\n    let mut total_ns: u64 = 0;\n    \
+                   // gmt-lint: allow(U1): interpreting microseconds as a raw count\n    \
+                   total_ns = delay_us;\n}";
+        assert_eq!(fixed_u1(src), None);
+    }
 
     #[test]
     fn renames_types_imports_and_constructors() {

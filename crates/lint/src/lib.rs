@@ -29,11 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod diag;
 pub mod engine;
 pub mod fix;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
 pub mod workspace;
 
 pub use diag::{Finding, Level, Report};

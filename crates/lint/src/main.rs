@@ -3,6 +3,7 @@
 
 #![forbid(unsafe_code)]
 
+use std::collections::BTreeSet;
 use std::env;
 use std::fs;
 use std::path::PathBuf;
@@ -10,7 +11,8 @@ use std::process::ExitCode;
 use std::time::Instant; // gmt-lint: allow(D1): the linter itself is host tooling, not simulation.
 
 use gmt_lint::rules::rule;
-use gmt_lint::{fix, Config, Level, RULES};
+use gmt_lint::symbols::build_symbols;
+use gmt_lint::{fix, sarif, Config, Level, Report, RULES};
 
 const USAGE: &str = "\
 gmt-lint — determinism, tiering and export invariants for the GMT workspace
@@ -19,22 +21,27 @@ USAGE:
     gmt-lint [OPTIONS]
 
 OPTIONS:
-    --root <PATH>       Workspace root (default: nearest [workspace] above cwd)
-    --format <FMT>      Output format: text (default) or json
-    --fix               Apply the mechanically safe D3 rewrite, then re-lint
-    --allow <RULE>      Run RULE at allow level (repeatable)
-    --warn <RULE>       Run RULE at warn level (repeatable)
-    --deny <RULE>       Run RULE at deny level (repeatable)
-    --include-vendor    Also lint vendor/* stub crates
-    --list-rules        Print the rule table and exit
-    -h, --help          Print this help
+    --root <PATH>           Workspace root (default: nearest [workspace] above cwd)
+    --format <FMT>          Output format: text (default), json or sarif
+    --fix                   Apply the safe D3 and U1 rewrites, then re-lint
+    --allow <RULE>          Run RULE (or `all`) at allow level (repeatable)
+    --warn <RULE>           Run RULE (or `all`) at warn level (repeatable)
+    --deny <RULE>           Run RULE (or `all`) at deny level (repeatable)
+    --baseline <PATH>       Silence findings recorded in the snapshot at PATH
+    --write-baseline <PATH> Write the current findings as a snapshot and exit
+    --max-millis <N>        Fail (exit 2) if the lint pass itself exceeds N ms
+    --include-vendor        Also lint vendor/* stub crates
+    --list-rules            Print the rule table and exit
+    -h, --help              Print this help
 
 EXIT CODES:
     0  no deny-level findings        1  deny-level findings
-    2  usage or I/O error
+    2  usage or I/O error, or the --max-millis budget was exceeded
 
 Suppress a single line with `// gmt-lint: allow(<RULE>): reason`, either
-trailing the offending line or on the line directly above it.";
+trailing the offending line or on the line directly above it. A baseline
+snapshot silences pre-existing findings wholesale so new code can be held
+to a stricter bar than old code; regenerate it with --write-baseline.";
 
 fn main() -> ExitCode {
     match run() {
@@ -52,12 +59,29 @@ fn main() -> ExitCode {
     }
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+/// One finding's identity in a baseline snapshot. Line/column are left
+/// out on purpose: unrelated edits move findings around a file, and a
+/// moved finding is not a new one.
+fn baseline_key(f: &gmt_lint::Finding) -> String {
+    format!("{}\t{}\t{}", f.rule, f.file.display(), f.message)
+}
+
 fn run() -> Result<bool, String> {
     let mut config = Config::default();
     let mut root: Option<PathBuf> = None;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut apply_fix = false;
     let mut include_vendor = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut max_millis: Option<u64> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,10 +90,11 @@ fn run() -> Result<bool, String> {
                 root = Some(PathBuf::from(args.next().ok_or("--root needs a path")?));
             }
             "--format" => {
-                json = match args.next().as_deref() {
-                    Some("json") => true,
-                    Some("text") => false,
-                    other => return Err(format!("unknown format {other:?} (text|json)")),
+                format = match args.next().as_deref() {
+                    Some("json") => Format::Json,
+                    Some("text") => Format::Text,
+                    Some("sarif") => Format::Sarif,
+                    other => return Err(format!("unknown format {other:?} (text|json|sarif)")),
                 };
             }
             "--fix" => apply_fix = true,
@@ -78,10 +103,30 @@ fn run() -> Result<bool, String> {
                 let id = args
                     .next()
                     .ok_or_else(|| format!("{arg} needs a rule id"))?;
-                if rule(&id).is_none() {
+                if id == "all" {
+                    for r in RULES {
+                        config.overrides.insert(r.id.to_string(), level);
+                    }
+                } else if rule(&id).is_some() {
+                    config.overrides.insert(id, level);
+                } else {
                     return Err(format!("unknown rule `{id}` (try --list-rules)"));
                 }
-                config.overrides.insert(id, level);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--write-baseline" => {
+                write_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--write-baseline needs a path")?,
+                ));
+            }
+            "--max-millis" => {
+                let n = args.next().ok_or("--max-millis needs a number")?;
+                max_millis = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--max-millis: `{n}` is not a number"))?,
+                );
             }
             "--include-vendor" => include_vendor = true,
             "--list-rules" => {
@@ -111,40 +156,110 @@ fn run() -> Result<bool, String> {
     };
 
     let started = Instant::now();
-    let mut report =
-        gmt_lint::lint_workspace(&root, &config, include_vendor).map_err(|e| e.to_string())?;
+    let mut files =
+        gmt_lint::engine::load_workspace(&root, include_vendor).map_err(|e| e.to_string())?;
+    let mut report = gmt_lint::engine::lint_files(&files, &config);
 
     if apply_fix {
-        let mut fixed_files = 0usize;
-        let mut d3_files: Vec<PathBuf> = report
-            .findings
-            .iter()
-            .filter(|f| f.rule == "D3")
-            .map(|f| root.join(&f.file))
-            .collect();
-        d3_files.dedup();
-        for path in d3_files {
-            let source = fs::read_to_string(&path).map_err(|e| e.to_string())?;
-            if let Some(fixed) = fix::fix_d3(&source) {
-                fs::write(&path, fixed).map_err(|e| e.to_string())?;
-                fixed_files += 1;
-            }
-        }
+        let fixed_files = apply_fixes(&root, &files, &report, &config)?;
         if fixed_files > 0 {
             eprintln!(
-                "gmt-lint: rewrote {fixed_files} file(s) for D3; \
+                "gmt-lint: rewrote {fixed_files} file(s) for D3/U1; \
                  re-linting (run `cargo build` to confirm the rewrite compiles)"
             );
-            report = gmt_lint::lint_workspace(&root, &config, include_vendor)
+            files = gmt_lint::engine::load_workspace(&root, include_vendor)
                 .map_err(|e| e.to_string())?;
+            report = gmt_lint::engine::lint_files(&files, &config);
         }
     }
 
-    if json {
-        println!("{}", report.render_json());
-    } else {
-        println!("{}", report.render_text());
-        eprintln!("gmt-lint: completed in {:?}", started.elapsed());
+    if let Some(path) = write_baseline {
+        let keys: BTreeSet<String> = report.findings.iter().map(baseline_key).collect();
+        let mut out = String::new();
+        for key in &keys {
+            out.push_str(key);
+            out.push('\n');
+        }
+        fs::write(&path, out).map_err(|e| e.to_string())?;
+        eprintln!(
+            "gmt-lint: wrote {} baseline entr{} to {}",
+            keys.len(),
+            if keys.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return Ok(true);
+    }
+
+    if let Some(path) = baseline {
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("baseline {}: {e}", path.display()))?;
+        let known: BTreeSet<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let before = report.findings.len();
+        report
+            .findings
+            .retain(|f| !known.contains(baseline_key(f).as_str()));
+        report.baselined = before - report.findings.len();
+    }
+
+    let elapsed = started.elapsed();
+    match format {
+        Format::Json => println!("{}", report.render_json()),
+        Format::Sarif => {
+            let log = sarif::render_sarif(&report);
+            sarif::validate_sarif(&log).map_err(|e| format!("emitted SARIF is invalid: {e}"))?;
+            println!("{log}");
+        }
+        Format::Text => {
+            println!("{}", report.render_text());
+            eprintln!("gmt-lint: completed in {elapsed:?}");
+        }
+    }
+    if let Some(budget) = max_millis {
+        if elapsed.as_millis() > u128::from(budget) {
+            return Err(format!(
+                "lint pass took {elapsed:?}, over the --max-millis {budget} budget"
+            ));
+        }
     }
     Ok(!report.has_deny())
+}
+
+/// Applies the D3 and U1 rewrites to every file the report flags.
+///
+/// U1 fixes use the already-analyzed token offsets, so they run against
+/// the on-disk text first; D3 re-lexes whatever U1 produced.
+fn apply_fixes(
+    root: &std::path::Path,
+    files: &[gmt_lint::symbols::AnalyzedFile],
+    report: &Report,
+    config: &Config,
+) -> Result<usize, String> {
+    let syms = build_symbols(files);
+    let mut flagged: Vec<PathBuf> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "D3" || f.rule == "U1")
+        .map(|f| f.file.clone())
+        .collect();
+    flagged.sort();
+    flagged.dedup();
+    let mut fixed_files = 0usize;
+    for rel in flagged {
+        let abs = root.join(&rel);
+        let source = fs::read_to_string(&abs).map_err(|e| e.to_string())?;
+        let mut text = source.clone();
+        if let Some(file) = files.iter().find(|f| f.rel == rel) {
+            if let Some(fixed) = fix::fix_u1(&text, file, &syms, config) {
+                text = fixed;
+            }
+        }
+        if let Some(fixed) = fix::fix_d3(&text) {
+            text = fixed;
+        }
+        if text != source {
+            fs::write(&abs, text).map_err(|e| e.to_string())?;
+            fixed_files += 1;
+        }
+    }
+    Ok(fixed_files)
 }

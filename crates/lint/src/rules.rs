@@ -79,6 +79,28 @@ pub const RULES: &[Rule] = &[
         summary: "every TieringMetrics field must be summed in merge(), or \
                   per-tenant accounting silently loses counters",
     },
+    Rule {
+        id: "U1",
+        name: "unit-dimension",
+        default_level: Level::Deny,
+        summary: "values with suffix-inferred units (_ns/_us/_ms/_bytes/_pages/_gbps) \
+                  must not mix dimensions in arithmetic, comparisons, assignments or \
+                  calls without an explicit conversion",
+    },
+    Rule {
+        id: "C1",
+        name: "config-coverage",
+        default_level: Level::Deny,
+        summary: "every pub config field must be read outside its definition (no dead \
+                  knobs) and numeric fields must be range-checked in validate()",
+    },
+    Rule {
+        id: "T1",
+        name: "trace-schema",
+        default_level: Level::Deny,
+        summary: "every TraceEvent variant emitted by the model crates must be \
+                  explicitly handled by crates/analysis, not wildcard-swallowed",
+    },
 ];
 
 /// Looks a rule up by id.
@@ -409,6 +431,756 @@ fn check_metrics_conservation(
     }
 }
 
+// --------------------------------------------------------------------------
+// Semantic rules (U1/C1/T1), built on the AST + symbol table.
+// --------------------------------------------------------------------------
+
+use crate::ast::{BinOp, Block, Expr, ExprKind, FnItem, Item, ItemKind, Stmt, StmtKind};
+use crate::symbols::{dim_of_ty, impl_context_map, unit_of_name, AnalyzedFile, Dim, Symbols, Unit};
+
+/// Config structs C1 audits for dead knobs and validate() coverage.
+pub const C1_STRUCTS: &[&str] = &["GmtConfig", "ReuseConfig", "SsdConfig", "HostLinkConfig"];
+
+/// Crates whose unmasked code counts as *emitting* trace events (T1).
+/// `sim` is excluded on purpose: it defines `TraceEvent` and its helper
+/// methods legitimately name every variant.
+pub const T1_EMITTER_CRATES: &[&str] = &["core", "serve", "baselines", "gpu", "ssd", "pcie"];
+
+/// The crate whose exporters must handle every emitted variant (T1).
+pub const T1_ANALYSIS_CRATE: &str = "analysis";
+
+/// An auto-applicable unit conversion discovered by the U1 walker.
+#[derive(Debug, Clone, Copy)]
+pub struct U1Fix {
+    /// First token of the expression to rewrite.
+    pub lo_tok: usize,
+    /// One past the last token of the expression.
+    pub hi_tok: usize,
+    /// The rewrite to apply.
+    pub kind: U1FixKind,
+}
+
+/// The two safe U1 rewrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum U1FixKind {
+    /// Append `* <multiplier>` (coarse unit flowing into a finer slot).
+    Mul(&'static str),
+    /// Wrap the expression in `Dur::<ctor>(...)`.
+    WrapDur(&'static str),
+}
+
+/// The multiplier converting a `from` value into `to`, when lossless.
+fn finer_multiplier(to: Unit, from: Unit) -> Option<&'static str> {
+    match (to, from) {
+        (Unit::Ns, Unit::Us) => Some("1_000"),
+        (Unit::Ns, Unit::Ms) => Some("1_000_000"),
+        (Unit::Us, Unit::Ms) => Some("1_000"),
+        _ => None,
+    }
+}
+
+/// The `Dur` constructor accepting a raw value of `unit`.
+fn dur_ctor(unit: Unit) -> Option<&'static str> {
+    match unit {
+        Unit::Ns => Some("from_nanos"),
+        Unit::Us => Some("from_micros"),
+        Unit::Ms => Some("from_millis"),
+        _ => None,
+    }
+}
+
+/// Runs the U1 unit-dimension analysis over one file's AST.
+///
+/// When `fixes` is provided, every finding whose rewrite is mechanically
+/// safe (the source dimension is unambiguous and the expression is a
+/// tighter-binding atom) also records a [`U1Fix`].
+pub fn check_unit_dimensions(
+    ctx: FileContext<'_>,
+    file: &AnalyzedFile,
+    syms: &Symbols,
+    config: &Config,
+    out: &mut Findings<'_>,
+    fixes: Option<&mut Vec<U1Fix>>,
+) {
+    if config.level("U1") == Level::Allow && fixes.is_none() {
+        return;
+    }
+    let mut w = UnitWalker {
+        ctx,
+        toks: &file.lexed.tokens,
+        syms,
+        config,
+        out,
+        locals: Vec::new(),
+        fixes,
+    };
+    for item in &file.ast.items {
+        w.item(item);
+    }
+}
+
+struct UnitWalker<'a, 'b, 'c> {
+    ctx: FileContext<'a>,
+    toks: &'a [Token],
+    syms: &'a Symbols,
+    config: &'a Config,
+    out: &'c mut Findings<'b>,
+    /// Scope stack of local-binding dimensions; lookups scan outward.
+    locals: Vec<BTreeMap<String, Dim>>,
+    fixes: Option<&'c mut Vec<U1Fix>>,
+}
+
+/// Method names whose receiver and argument must share a dimension.
+const U1_COMBINATORS: &[&str] = &[
+    "min",
+    "max",
+    "clamp",
+    "abs_diff",
+    "saturating_add",
+    "saturating_sub",
+    "checked_add",
+    "checked_sub",
+    "wrapping_add",
+    "wrapping_sub",
+];
+
+impl UnitWalker<'_, '_, '_> {
+    fn lookup(&self, name: &str) -> Option<Dim> {
+        self.locals.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+
+    fn bind(&mut self, name: &str, dim: Dim) {
+        if let Some(scope) = self.locals.last_mut() {
+            scope.insert(name.to_string(), dim);
+        }
+    }
+
+    fn report(&mut self, at_tok: usize, message: String) -> bool {
+        let Some(at) = self.toks.get(at_tok) else {
+            return false;
+        };
+        self.out.push(self.ctx, self.config, "U1", at, message)
+    }
+
+    /// Records a fix for `expr` when it binds tighter than `*` (so an
+    /// appended multiplier or a wrapping call cannot change parse).
+    fn record_fix(&mut self, expr: &Expr, kind: U1FixKind) {
+        let atom = matches!(
+            expr.kind,
+            ExprKind::Path(_)
+                | ExprKind::Field { .. }
+                | ExprKind::MethodCall { .. }
+                | ExprKind::Call { .. }
+                | ExprKind::Index { .. }
+                | ExprKind::Paren(_)
+                | ExprKind::Lit
+        );
+        if !atom {
+            return;
+        }
+        if let Some(fixes) = self.fixes.as_deref_mut() {
+            fixes.push(U1Fix {
+                lo_tok: expr.span.lo,
+                hi_tok: expr.span.hi,
+                kind,
+            });
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match &item.kind {
+            ItemKind::Fn(f) => self.fn_item(f),
+            ItemKind::Impl(imp) => {
+                for inner in &imp.items {
+                    self.item(inner);
+                }
+            }
+            ItemKind::Mod(m) => {
+                for inner in &m.items {
+                    self.item(inner);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn fn_item(&mut self, f: &FnItem) {
+        let Some(body) = &f.body else { return };
+        let mut scope = BTreeMap::new();
+        for p in &f.params {
+            if let Some(name) = &p.name {
+                let dim = match dim_of_ty(&p.ty) {
+                    Dim::Unknown => unit_of_name(name).map_or(Dim::Unknown, Dim::Known),
+                    d => d,
+                };
+                scope.insert(name.clone(), dim);
+            }
+        }
+        self.locals.push(scope);
+        self.block(body);
+        self.locals.pop();
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.locals.push(BTreeMap::new());
+        for stmt in &b.stmts {
+            self.stmt(stmt);
+        }
+        self.locals.pop();
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Let {
+                name,
+                name_tok,
+                ty,
+                init,
+            } => {
+                let declared = match dim_of_ty(ty) {
+                    Dim::Unknown => name
+                        .as_deref()
+                        .and_then(unit_of_name)
+                        .map_or(Dim::Unknown, Dim::Known),
+                    d => d,
+                };
+                let init_dim = init.as_ref().map(|e| self.expr(e));
+                if let (Dim::Known(want), Some(Dim::Known(got))) = (declared, init_dim) {
+                    if want != got {
+                        let reported = self.report(
+                            name_tok.unwrap_or(s.span.lo),
+                            format!(
+                                "`{}` carries unit `{}` but is initialized with a `{}` value; \
+                                 convert explicitly",
+                                name.as_deref().unwrap_or("binding"),
+                                want.label(),
+                                got.label()
+                            ),
+                        );
+                        if reported {
+                            if let (Some(mult), Some(e)) = (finer_multiplier(want, got), init) {
+                                self.record_fix(e, U1FixKind::Mul(mult));
+                            }
+                        }
+                    }
+                }
+                if let Some(name) = name {
+                    let dim = if declared != Dim::Unknown {
+                        declared
+                    } else {
+                        init_dim.unwrap_or(Dim::Unknown)
+                    };
+                    self.bind(name, dim);
+                }
+            }
+            StmtKind::Expr(e) => {
+                self.expr(e);
+            }
+            StmtKind::Item(item) => self.item(item),
+            StmtKind::Verbatim => {}
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Dim {
+        match &e.kind {
+            ExprKind::Lit | ExprKind::MacroCall | ExprKind::Verbatim => Dim::Unknown,
+            ExprKind::Path(segs) => self.path_dim(segs),
+            ExprKind::Unary(inner) => inner.as_ref().map_or(Dim::Unknown, |i| self.expr(i)),
+            ExprKind::Try(inner) | ExprKind::Paren(inner) | ExprKind::Cast(inner) => {
+                self.expr(inner)
+            }
+            ExprKind::Group(elems) => {
+                for el in elems {
+                    self.expr(el);
+                }
+                Dim::Unknown
+            }
+            ExprKind::Field { base, name, .. } => {
+                self.expr(base);
+                unit_of_name(name).map_or(Dim::Unknown, Dim::Known)
+            }
+            ExprKind::Index { base, index } => {
+                let d = self.expr(base);
+                self.expr(index);
+                d
+            }
+            ExprKind::Binary {
+                op,
+                op_tok,
+                lhs,
+                rhs,
+            } => self.binary(*op, *op_tok, lhs, rhs),
+            ExprKind::Assign {
+                op_tok,
+                dimensional,
+                lhs,
+                rhs,
+            } => {
+                let ld = self.expr(lhs);
+                let rd = self.expr(rhs);
+                if *dimensional {
+                    if let (Dim::Known(a), Dim::Known(b)) = (ld, rd) {
+                        if a != b {
+                            let reported = self.report(
+                                *op_tok,
+                                format!(
+                                    "assignment mixes units: destination is `{}` but the value \
+                                     is `{}`; convert explicitly",
+                                    a.label(),
+                                    b.label()
+                                ),
+                            );
+                            if reported {
+                                if let Some(mult) = finer_multiplier(a, b) {
+                                    self.record_fix(rhs, U1FixKind::Mul(mult));
+                                }
+                            }
+                        }
+                    }
+                }
+                Dim::Unknown
+            }
+            ExprKind::MethodCall {
+                recv,
+                name,
+                name_tok,
+                args,
+            } => self.method_call(recv, name, *name_tok, args),
+            ExprKind::Call { callee, args } => self.call(callee, args),
+            ExprKind::StructLit { path, fields, rest } => {
+                self.struct_lit(path, fields, rest.as_deref());
+                Dim::Unknown
+            }
+            ExprKind::If { cond, then, els } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(els) = els {
+                    self.expr(els);
+                }
+                Dim::Unknown
+            }
+            ExprKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+                Dim::Unknown
+            }
+            ExprKind::For { iter, body } => {
+                self.expr(iter);
+                self.block(body);
+                Dim::Unknown
+            }
+            ExprKind::Loop(body) | ExprKind::BlockExpr(body) => {
+                self.block(body);
+                Dim::Unknown
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.expr(scrutinee);
+                for arm in arms {
+                    if let Some(g) = &arm.guard {
+                        self.expr(g);
+                    }
+                    self.expr(&arm.body);
+                }
+                Dim::Unknown
+            }
+            ExprKind::Closure(body) => {
+                self.locals.push(BTreeMap::new());
+                self.expr(body);
+                self.locals.pop();
+                Dim::Unknown
+            }
+        }
+    }
+
+    fn path_dim(&self, segs: &[String]) -> Dim {
+        if let [single] = segs {
+            if let Some(d) = self.lookup(single) {
+                return d;
+            }
+        }
+        let last = match segs.last() {
+            Some(l) => l.as_str(),
+            None => return Dim::Unknown,
+        };
+        if matches!(last, "ZERO" | "MAX") {
+            if segs.iter().any(|s| s == "Dur") {
+                return Dim::Dur;
+            }
+            if segs.iter().any(|s| s == "Time") {
+                return Dim::Time;
+            }
+        }
+        unit_of_name(last).map_or(Dim::Unknown, Dim::Known)
+    }
+
+    fn binary(&mut self, op: BinOp, op_tok: usize, lhs: &Expr, rhs: &Expr) -> Dim {
+        let ld = self.expr(lhs);
+        let rd = self.expr(rhs);
+        let checked = matches!(op, BinOp::AddSub | BinOp::Rem | BinOp::Cmp | BinOp::Range);
+        if checked {
+            if let (Dim::Known(a), Dim::Known(b)) = (ld, rd) {
+                if a != b {
+                    self.report(
+                        op_tok,
+                        format!(
+                            "`{}` mixes unit `{}` with unit `{}`; convert one side explicitly \
+                             (e.g. `* 1_000` or via `Dur`)",
+                            self.toks.get(op_tok).map_or("?", |t| t.text.as_str()),
+                            a.label(),
+                            b.label()
+                        ),
+                    );
+                }
+            }
+        }
+        match op {
+            BinOp::AddSub | BinOp::Rem => match (ld, rd) {
+                (Dim::Time, _) | (_, Dim::Time) => Dim::Time,
+                (Dim::Dur, _) | (_, Dim::Dur) => Dim::Dur,
+                (Dim::Known(a), _) => Dim::Known(a),
+                (_, Dim::Known(b)) => Dim::Known(b),
+                _ => Dim::Unknown,
+            },
+            // `Dur * n` / `Dur / n` stay durations; raw products change
+            // dimension and are deliberately untracked.
+            BinOp::MulDivBit if ld == Dim::Dur => Dim::Dur,
+            _ => Dim::Unknown,
+        }
+    }
+
+    fn method_call(&mut self, recv: &Expr, name: &str, name_tok: usize, args: &[Expr]) -> Dim {
+        let rd = self.expr(recv);
+        let arg_dims: Vec<Dim> = args.iter().map(|a| self.expr(a)).collect();
+        if U1_COMBINATORS.contains(&name) {
+            if let Dim::Known(a) = rd {
+                for (i, ad) in arg_dims.iter().enumerate() {
+                    if let Dim::Known(b) = ad {
+                        if a != *b {
+                            self.report(
+                                name_tok,
+                                format!(
+                                    "`.{name}()` combines unit `{}` with unit `{}` \
+                                     (argument {}); convert explicitly",
+                                    a.label(),
+                                    b.label(),
+                                    i + 1
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            return rd;
+        }
+        match name {
+            "as_nanos" => Dim::Known(Unit::Ns),
+            "clone" | "to_owned" => rd,
+            // `Time::since` and friends return durations.
+            "since" if rd == Dim::Time => Dim::Dur,
+            _ => Dim::Unknown,
+        }
+    }
+
+    fn call(&mut self, callee: &Expr, args: &[Expr]) -> Dim {
+        let ExprKind::Path(segs) = &callee.kind else {
+            self.expr(callee);
+            for a in args {
+                self.expr(a);
+            }
+            return Dim::Unknown;
+        };
+        let arg_dims: Vec<Dim> = args.iter().map(|a| self.expr(a)).collect();
+        let fname = segs.last().map(String::as_str).unwrap_or("");
+        // Argument checks apply only when every same-name signature in
+        // the workspace agrees on arity and parameter units.
+        if let Some(sigs) = self.syms.fns.get(fname) {
+            let agree = !sigs.is_empty()
+                && sigs
+                    .iter()
+                    .all(|s| s.arity == args.len() && s.param_units == sigs[0].param_units);
+            if agree {
+                for (i, (want, got)) in sigs[0].param_units.iter().zip(&arg_dims).enumerate() {
+                    if let (Some(a), Dim::Known(b)) = (want, got) {
+                        if a != b {
+                            let at = args[i].span.lo;
+                            self.report(
+                                at,
+                                format!(
+                                    "argument {} of `{fname}` expects a `{}` value but gets \
+                                     `{}`; convert explicitly",
+                                    i + 1,
+                                    a.label(),
+                                    b.label()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Return dimension: explicit Dur/Time constructors first, then
+        // the workspace signature (if unambiguous), then a name suffix.
+        let penult = segs.len().checked_sub(2).map(|i| segs[i].as_str());
+        if penult == Some("Dur") {
+            return Dim::Dur;
+        }
+        if penult == Some("Time") {
+            return Dim::Time;
+        }
+        if let Some(sigs) = self.syms.fns.get(fname) {
+            if !sigs.is_empty() && sigs.iter().all(|s| s.ret_dim == sigs[0].ret_dim) {
+                return sigs[0].ret_dim;
+            }
+        }
+        unit_of_name(fname).map_or(Dim::Unknown, Dim::Known)
+    }
+
+    fn struct_lit(
+        &mut self,
+        path: &[String],
+        fields: &[(String, usize, Option<Expr>)],
+        rest: Option<&Expr>,
+    ) {
+        let sname = path.last().map(String::as_str).unwrap_or("");
+        let sinfo = self.syms.structs.get(sname);
+        for (fname, name_tok, value) in fields {
+            let Some(value) = value else { continue };
+            let vd = self.expr(value);
+            if let (Some(want), Dim::Known(got)) = (unit_of_name(fname), vd) {
+                if want != got {
+                    let reported = self.report(
+                        *name_tok,
+                        format!(
+                            "field `{fname}` carries unit `{}` but is initialized with a \
+                             `{}` value; convert explicitly",
+                            want.label(),
+                            got.label()
+                        ),
+                    );
+                    if reported {
+                        if let Some(mult) = finer_multiplier(want, got) {
+                            self.record_fix(value, U1FixKind::Mul(mult));
+                        }
+                    }
+                }
+                continue;
+            }
+            // Raw suffixed value flowing into a `Dur`-typed field: the
+            // mechanically safe wrap is `Dur::from_<unit>(value)`.
+            if let (Some(info), Dim::Known(got)) = (sinfo, vd) {
+                let fdef = info.fields.iter().find(|f| &f.name == fname);
+                if fdef.is_some_and(|f| f.ty_dim == Dim::Dur) {
+                    let reported = self.report(
+                        *name_tok,
+                        format!(
+                            "`Dur`-typed field `{fname}` is initialized with a raw `{}` \
+                             value; wrap it in `Dur::from_…`",
+                            got.label()
+                        ),
+                    );
+                    if reported {
+                        if let Some(ctor) = dur_ctor(got) {
+                            self.record_fix(value, U1FixKind::WrapDur(ctor));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(rest) = rest {
+            self.expr(rest);
+        }
+    }
+}
+
+/// Whether tokens `a` and `b` are byte-adjacent (multi-char operator).
+fn adj(a: &Token, b: &Token) -> bool {
+    b.offset == a.offset + a.len
+}
+
+/// Collects `<EnumName>::Variant` mentions in a file's unmasked code.
+fn variant_mentions(
+    file: &AnalyzedFile,
+    enum_name: &str,
+    variants: &[String],
+) -> Vec<(String, usize)> {
+    let toks = &file.lexed.tokens;
+    let mask = test_mask(toks);
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        if !toks[i].is_ident(enum_name) || mask[i] {
+            continue;
+        }
+        if !(toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && adj(&toks[i + 1], &toks[i + 2]))
+        {
+            continue;
+        }
+        let v = &toks[i + 3];
+        if v.kind == TokKind::Ident && variants.iter().any(|name| name == &v.text) {
+            out.push((v.text.clone(), i + 3));
+        }
+    }
+    out
+}
+
+/// C1: every pub field of the config structs must be read outside its
+/// own definition, and numeric fields must be range-checked.
+pub fn check_config_coverage(
+    files: &[AnalyzedFile],
+    syms: &Symbols,
+    config: &Config,
+) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    if config.level("C1") == Level::Allow {
+        return (findings, suppressed);
+    }
+    for sname in C1_STRUCTS {
+        let Some(info) = syms.structs.get(*sname) else {
+            continue;
+        };
+        let def_file = &files[info.file];
+        let impl_map = impl_context_map(def_file);
+        for field in info.fields.iter().filter(|f| f.is_pub) {
+            let mut read = false;
+            'files: for (fi, f) in files.iter().enumerate() {
+                if !matches!(f.target, TargetKind::Lib | TargetKind::Bin) {
+                    continue;
+                }
+                let toks = &f.lexed.tokens;
+                let mask = test_mask(toks);
+                for i in 0..toks.len().saturating_sub(1) {
+                    if !toks[i].is_punct('.') || mask[i] {
+                        continue;
+                    }
+                    // `..field` is range/struct-update syntax, not a read,
+                    // and `.field(` is a method call.
+                    if i > 0 && toks[i - 1].is_punct('.') {
+                        continue;
+                    }
+                    if toks[i + 1].kind != TokKind::Ident || toks[i + 1].text != field.name {
+                        continue;
+                    }
+                    if toks.get(i + 2).is_some_and(|t| t.is_punct('(')) {
+                        continue;
+                    }
+                    // Inside the struct's own impl blocks (validate,
+                    // accessors) does not count as wiring the knob up.
+                    if fi == info.file
+                        && impl_map.get(i + 1).and_then(Option::as_deref) == Some(sname)
+                    {
+                        continue;
+                    }
+                    read = true;
+                    break 'files;
+                }
+            }
+            let at = &def_file.lexed.tokens[field.name_tok];
+            let ctx = FileContext {
+                rel_path: &def_file.rel,
+                crate_name: &def_file.crate_name,
+                target: def_file.target,
+            };
+            let mut out = Findings::new(&def_file.lexed.suppressions);
+            if !read {
+                out.push(
+                    ctx,
+                    config,
+                    "C1",
+                    at,
+                    format!(
+                        "config field `{sname}.{}` is never read outside its own definition — \
+                         a dead knob silently diverges the model from its configuration",
+                        field.name
+                    ),
+                );
+            }
+            if field.numeric && !syms.validate_idents.contains(&field.name) {
+                out.push(
+                    ctx,
+                    config,
+                    "C1",
+                    at,
+                    format!(
+                        "numeric config field `{sname}.{}` is not range-checked by any \
+                         `validate()`; a nonsensical value would corrupt results silently",
+                        field.name
+                    ),
+                );
+            }
+            findings.extend(out.findings);
+            suppressed += out.suppressed;
+        }
+    }
+    (findings, suppressed)
+}
+
+/// T1: every `TraceEvent` variant emitted by the model crates must be
+/// explicitly named by the exporters in `crates/analysis`.
+pub fn check_trace_schema(
+    files: &[AnalyzedFile],
+    syms: &Symbols,
+    config: &Config,
+) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut suppressed = 0usize;
+    if config.level("T1") == Level::Allow {
+        return (findings, suppressed);
+    }
+    let Some(variants) = syms.enums.get("TraceEvent") else {
+        return (findings, suppressed);
+    };
+    let mut handled: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for f in files {
+        if f.crate_name == T1_ANALYSIS_CRATE
+            && matches!(f.target, TargetKind::Lib | TargetKind::Bin)
+        {
+            for (v, _) in variant_mentions(f, "TraceEvent", variants) {
+                handled.insert(v);
+            }
+        }
+    }
+    // First unmasked emission site per variant, in file order.
+    let mut emitted: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !T1_EMITTER_CRATES.contains(&f.crate_name.as_str())
+            || !matches!(f.target, TargetKind::Lib | TargetKind::Bin)
+        {
+            continue;
+        }
+        for (v, tok) in variant_mentions(f, "TraceEvent", variants) {
+            emitted.entry(v).or_insert((fi, tok));
+        }
+    }
+    for (v, (fi, tok)) in &emitted {
+        if handled.contains(v) {
+            continue;
+        }
+        let f = &files[*fi];
+        let ctx = FileContext {
+            rel_path: &f.rel,
+            crate_name: &f.crate_name,
+            target: f.target,
+        };
+        let mut out = Findings::new(&f.lexed.suppressions);
+        out.push(
+            ctx,
+            config,
+            "T1",
+            &f.lexed.tokens[*tok],
+            format!(
+                "`TraceEvent::{v}` is emitted here but never explicitly handled in \
+                 crates/{T1_ANALYSIS_CRATE} — a wildcard arm is silently dropping it \
+                 from the exported summaries"
+            ),
+        );
+        findings.extend(out.findings);
+        suppressed += out.suppressed;
+    }
+    (findings, suppressed)
+}
+
 /// Accumulates findings for one file, applying level overrides and
 /// `// gmt-lint: allow(...)` suppressions as they are pushed.
 pub struct Findings<'a> {
@@ -429,17 +1201,18 @@ impl<'a> Findings<'a> {
         }
     }
 
-    fn push(
+    /// Returns whether the finding survived (not allowed, not suppressed).
+    pub(crate) fn push(
         &mut self,
         ctx: FileContext<'_>,
         config: &Config,
         rule_id: &'static str,
         at: &Token,
         message: String,
-    ) {
+    ) -> bool {
         let level = config.level(rule_id);
         if level == Level::Allow {
-            return;
+            return false;
         }
         // A suppression covers its own line (trailing comment) and the
         // line below it (standalone comment above the violation).
@@ -448,7 +1221,7 @@ impl<'a> Findings<'a> {
         });
         if silenced {
             self.suppressed += 1;
-            return;
+            return false;
         }
         self.findings.push(Finding {
             rule: rule_id,
@@ -458,6 +1231,7 @@ impl<'a> Findings<'a> {
             col: at.col,
             message,
         });
+        true
     }
 }
 

@@ -1,0 +1,461 @@
+//! SARIF 2.1.0 output for code-scanning upload.
+//!
+//! GitHub code scanning (and most SARIF viewers) ingest a single
+//! `sarifLog` object with one run per tool. The renderer here emits the
+//! minimal-but-valid subset: `tool.driver` with the full rule table, and
+//! one `result` per surviving finding with a physical location. Like the
+//! JSON renderer in [`crate::diag`], everything is emitted by hand — the
+//! linter stays dependency-free.
+//!
+//! [`validate_sarif`] is a structural checker built on a tiny in-crate
+//! JSON parser. It exists so CI can prove the emitted log is well-formed
+//! SARIF 2.1.0 (version string, schema URI, driver name, and the shape of
+//! every result) without shipping a schema validator.
+
+use std::fmt::Write;
+
+use crate::diag::{json_str, Level, Report};
+use crate::rules::RULES;
+
+/// The canonical SARIF 2.1.0 schema URI.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// SARIF `level` for a lint [`Level`].
+fn sarif_level(level: Level) -> &'static str {
+    match level {
+        Level::Allow => "note",
+        Level::Warn => "warning",
+        Level::Deny => "error",
+    }
+}
+
+/// Renders `report` as a complete SARIF 2.1.0 log with a single run.
+///
+/// File paths are emitted as workspace-relative URIs with `/` separators
+/// so the log is stable across platforms.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"$schema\":");
+    out.push_str(&json_str(SARIF_SCHEMA));
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":");
+    out.push_str("{\"name\":\"gmt-lint\",\"rules\":[");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_str(r.id),
+            json_str(r.name),
+            json_str(r.summary),
+            json_str(sarif_level(r.default_level)),
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let uri: String = f
+            .file
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(sarif_level(f.level)),
+            json_str(&f.message),
+            json_str(&uri),
+            f.line,
+            f.col,
+        );
+    }
+    out.push_str("]}]}");
+    out
+}
+
+/// Checks that `text` is well-formed JSON shaped like a SARIF 2.1.0 log:
+/// correct `version`, a schema URI, at least one run with a named driver,
+/// and every result carrying a `ruleId`, a valid `level`, a non-empty
+/// `message.text`, and a located region with positive line/column.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first structural problem.
+pub fn validate_sarif(text: &str) -> Result<(), String> {
+    let log = Json::parse(text)?;
+    let obj = log.as_object().ok_or("top level is not an object")?;
+    match get(obj, "version").and_then(Json::as_str) {
+        Some("2.1.0") => {}
+        Some(v) => return Err(format!("version is {v:?}, expected \"2.1.0\"")),
+        None => return Err("missing string property `version`".into()),
+    }
+    let schema = get(obj, "$schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string property `$schema`")?;
+    if !schema.contains("sarif-2.1.0") {
+        return Err(format!("$schema {schema:?} does not name sarif-2.1.0"));
+    }
+    let runs = get(obj, "runs")
+        .and_then(Json::as_array)
+        .ok_or("missing array property `runs`")?;
+    if runs.is_empty() {
+        return Err("`runs` is empty".into());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        let run = run
+            .as_object()
+            .ok_or_else(|| format!("runs[{ri}] is not an object"))?;
+        let driver = get(run, "tool")
+            .and_then(Json::as_object)
+            .and_then(|t| get(t, "driver"))
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("runs[{ri}] has no tool.driver object"))?;
+        if get(driver, "name").and_then(Json::as_str).is_none() {
+            return Err(format!("runs[{ri}].tool.driver has no string `name`"));
+        }
+        let results = get(run, "results")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("runs[{ri}] has no `results` array"))?;
+        for (i, result) in results.iter().enumerate() {
+            validate_result(result, ri, i)?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_result(result: &Json, ri: usize, i: usize) -> Result<(), String> {
+    let at = |what: &str| format!("runs[{ri}].results[{i}]: {what}");
+    let result = result.as_object().ok_or_else(|| at("not an object"))?;
+    if get(result, "ruleId").and_then(Json::as_str).is_none() {
+        return Err(at("missing string `ruleId`"));
+    }
+    match get(result, "level").and_then(Json::as_str) {
+        Some("none" | "note" | "warning" | "error") => {}
+        Some(l) => return Err(at(&format!("invalid level {l:?}"))),
+        None => return Err(at("missing string `level`")),
+    }
+    let message = get(result, "message")
+        .and_then(Json::as_object)
+        .and_then(|m| get(m, "text"))
+        .and_then(Json::as_str)
+        .ok_or_else(|| at("missing message.text"))?;
+    if message.is_empty() {
+        return Err(at("message.text is empty"));
+    }
+    let locations = get(result, "locations")
+        .and_then(Json::as_array)
+        .ok_or_else(|| at("missing `locations` array"))?;
+    for loc in locations {
+        let physical = loc
+            .as_object()
+            .and_then(|l| get(l, "physicalLocation"))
+            .and_then(Json::as_object)
+            .ok_or_else(|| at("location has no physicalLocation"))?;
+        let uri = get(physical, "artifactLocation")
+            .and_then(Json::as_object)
+            .and_then(|a| get(a, "uri"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("physicalLocation has no artifactLocation.uri"))?;
+        if uri.contains('\\') {
+            return Err(at("artifact uri uses backslashes"));
+        }
+        if let Some(region) = get(physical, "region").and_then(Json::as_object) {
+            for key in ["startLine", "startColumn"] {
+                if let Some(n) = get(region, key).and_then(Json::as_num) {
+                    if n < 1.0 {
+                        return Err(at(&format!("region.{key} must be >= 1")));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A parsed JSON value. Objects keep insertion order; numbers are `f64`
+/// (sufficient for line/column checks).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Parses `text` as a single JSON document.
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {pos}", *c as char)),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at offset {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("malformed number {text:?} at offset {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Surrogate pairs only appear for astral chars, which
+                        // the renderer never escapes; replace, don't reject.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at offset {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // past the [
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Array(items));
+            }
+            other => return Err(format!("expected , or ] but found {other:?}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // past the {
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected : at offset {pos}"));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Object(fields));
+            }
+            other => return Err(format!("expected , or }} but found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Finding;
+    use std::path::PathBuf;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "U1",
+                level: Level::Deny,
+                file: PathBuf::from("crates/sim/src/time.rs"),
+                line: 12,
+                col: 9,
+                message: "mixed dimensions: ns + bytes (say \"why\")".to_string(),
+            }],
+            suppressed: 1,
+            baselined: 0,
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn rendered_log_passes_the_validator() {
+        let sarif = render_sarif(&report());
+        validate_sarif(&sarif).expect("rendered SARIF must validate");
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\":\"U1\""));
+        assert!(sarif.contains("\"startLine\":12"));
+    }
+
+    #[test]
+    fn every_registered_rule_appears_in_the_driver_table() {
+        let sarif = render_sarif(&Report::default());
+        for r in RULES {
+            assert!(
+                sarif.contains(&format!("\"id\":\"{}\"", r.id)),
+                "rule {} missing from driver.rules",
+                r.id
+            );
+        }
+        validate_sarif(&sarif).expect("empty report must still validate");
+    }
+
+    #[test]
+    fn validator_rejects_structural_damage() {
+        let good = render_sarif(&report());
+        assert!(validate_sarif("{}").is_err());
+        assert!(validate_sarif("not json").is_err());
+        assert!(validate_sarif(&good.replace("2.1.0\",\"runs", "2.0.0\",\"runs")).is_err());
+        assert!(validate_sarif(&good.replace("\"ruleId\"", "\"ruleID\"")).is_err());
+        assert!(validate_sarif(&good.replace("\"error\"", "\"fatal\"")).is_err());
+        assert!(validate_sarif(&good.replace("\"startLine\":12", "\"startLine\":0")).is_err());
+    }
+
+    #[test]
+    fn escapes_survive_a_parse_round_trip() {
+        let mut r = report();
+        r.findings[0].message = "tab\there \"quoted\" back\\slash".to_string();
+        let sarif = render_sarif(&r);
+        let parsed = Json::parse(&sarif).expect("parses");
+        let text = (|| {
+            let runs = get(parsed.as_object()?, "runs")?.as_array()?;
+            let results = get(runs[0].as_object()?, "results")?.as_array()?;
+            let msg = get(results[0].as_object()?, "message")?.as_object()?;
+            Some(get(msg, "text")?.as_str()?.to_string())
+        })()
+        .expect("message.text present");
+        assert_eq!(text, "tab\there \"quoted\" back\\slash");
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: linted as library code in `crates/ssd/` — a public knob on a
+// tracked config struct that nothing outside the struct's own impl ever
+// reads must produce exactly one C1 (dead knob) finding. The knob *is*
+// range-checked in validate(), so the numeric-coverage arm stays quiet.
+
+pub struct SsdConfig {
+    pub spare_channels: usize,
+}
+
+impl SsdConfig {
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.spare_channels > 64 {
+            return Err("spare_channels cannot exceed 64");
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture pair: `--fix` input for the U1 rewrite. The coarse-unit
+// assignment must gain `* 1_000` and the raw millisecond value flowing
+// into the `Dur`-typed field must be wrapped in `Dur::from_millis`.
+// The suppressed line stays untouched. Expected output: fix_u1_after.rs.
+
+pub struct Pacing {
+    pub gap: Dur,
+}
+
+pub fn pacing(gap_ms: u64, budget_us: u64, raw_us: u64) -> (Pacing, u64) {
+    let mut total_ns: u64 = 0;
+    total_ns = budget_us;
+    // gmt-lint: allow(U1): deliberately reinterpreted as a raw count.
+    total_ns += raw_us;
+    (Pacing { gap: gap_ms }, total_ns)
+}

@@ -1,0 +1,16 @@
+// Fixture: the same dead knob silenced by the suppression comment —
+// must produce zero findings and exactly one suppression.
+
+pub struct SsdConfig {
+    // gmt-lint: allow(C1): fixture — the knob lands with the GC model.
+    pub spare_channels: usize,
+}
+
+impl SsdConfig {
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.spare_channels > 64 {
+            return Err("spare_channels cannot exceed 64");
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,11 @@
+// Fixture: the same unhandled emission silenced by the suppression
+// comment — must produce zero findings and exactly one suppression.
+
+pub enum TraceEvent {
+    HostPin { page: u64 },
+}
+
+pub fn note_pin(page: u64) -> TraceEvent {
+    // gmt-lint: allow(T1): fixture — the exporter lands next PR.
+    TraceEvent::HostPin { page }
+}

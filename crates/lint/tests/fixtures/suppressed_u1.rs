@@ -1,0 +1,7 @@
+// Fixture: the same mixed-unit addition silenced by the suppression
+// comment — must produce zero findings and exactly one suppression.
+
+pub fn total_latency(base_ns: u64, delay_us: u64) -> u64 {
+    // gmt-lint: allow(U1): fixture — the caller pre-scales the delay.
+    base_ns + delay_us
+}

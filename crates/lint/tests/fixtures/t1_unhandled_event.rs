@@ -1,0 +1,11 @@
+// Fixture: linted as library code in `crates/core/` — a trace variant
+// that is emitted but never matched by the analysis crate must produce
+// exactly one T1 finding at the emission site.
+
+pub enum TraceEvent {
+    HostPin { page: u64 },
+}
+
+pub fn note_pin(page: u64) -> TraceEvent {
+    TraceEvent::HostPin { page }
+}

@@ -1,0 +1,7 @@
+// Fixture: linted as library code in `crates/core/` — adding a
+// microsecond delay to a nanosecond total must produce exactly one U1
+// finding at the `+`.
+
+pub fn total_latency(base_ns: u64, delay_us: u64) -> u64 {
+    base_ns + delay_us
+}

@@ -61,6 +61,27 @@ const PLANTED: &[(&str, &str, &str, TargetKind, &str)] = &[
         TargetKind::Lib,
         "M1",
     ),
+    (
+        "u1_mixed_units.rs",
+        "crates/core/src/latency.rs",
+        "core",
+        TargetKind::Lib,
+        "U1",
+    ),
+    (
+        "c1_dead_config.rs",
+        "crates/ssd/src/knobs.rs",
+        "ssd",
+        TargetKind::Lib,
+        "C1",
+    ),
+    (
+        "t1_unhandled_event.rs",
+        "crates/core/src/pin_trace.rs",
+        "core",
+        TargetKind::Lib,
+        "T1",
+    ),
 ];
 
 #[test]
@@ -101,6 +122,7 @@ fn a_planted_regression_fails_the_run() {
         let report = Report {
             findings,
             suppressed: 0,
+            baselined: 0,
             files_scanned: 1,
         };
         assert!(
@@ -135,16 +157,24 @@ fn s1_fixture_trips_on_a_missing_forbid() {
 
 #[test]
 fn allow_comment_suppresses_a_planted_violation() {
-    let source = fixture("suppressed_d2.rs");
-    let (findings, suppressed) = check_source(
-        Path::new("crates/reuse/src/noise.rs"),
-        "reuse",
-        TargetKind::Lib,
-        &source,
-        &Config::default(),
-    );
-    assert!(findings.is_empty(), "{findings:#?}");
-    assert_eq!(suppressed, 1, "the suppression must be counted, not lost");
+    let cases: &[(&str, &str, &str)] = &[
+        ("suppressed_d2.rs", "crates/reuse/src/noise.rs", "reuse"),
+        ("suppressed_u1.rs", "crates/core/src/latency.rs", "core"),
+        ("suppressed_c1.rs", "crates/ssd/src/knobs.rs", "ssd"),
+        ("suppressed_t1.rs", "crates/core/src/pin_trace.rs", "core"),
+    ];
+    for (file, path, crate_name) in cases {
+        let source = fixture(file);
+        let (findings, suppressed) = check_source(
+            Path::new(path),
+            crate_name,
+            TargetKind::Lib,
+            &source,
+            &Config::default(),
+        );
+        assert!(findings.is_empty(), "{file}: {findings:#?}");
+        assert_eq!(suppressed, 1, "{file}: suppression must be counted");
+    }
 }
 
 #[test]
@@ -161,6 +191,29 @@ fn fix_rewrites_before_into_after_byte_for_byte() {
         None,
         "the after-image is already clean"
     );
+}
+
+#[test]
+fn u1_fix_rewrites_before_into_after_byte_for_byte() {
+    let fixed_u1 = |source: &str| {
+        let files = [gmt_lint::symbols::AnalyzedFile::analyze(
+            PathBuf::from("crates/pcie/src/pacing.rs"),
+            "pcie".to_string(),
+            TargetKind::Lib,
+            false,
+            source,
+        )];
+        let syms = gmt_lint::symbols::build_symbols(&files);
+        fix::fix_u1(source, &files[0], &syms, &Config::default())
+    };
+    let before = fixture("fix_u1_before.rs");
+    let after = fixture("fix_u1_after.rs");
+    let fixed = fixed_u1(&before).expect("the before-image has violations");
+    assert_eq!(
+        fixed, after,
+        "--fix must reproduce the committed after-image"
+    );
+    assert_eq!(fixed_u1(&after), None, "the after-image is already clean");
 }
 
 /// The workspace itself must hold every invariant the lint enforces —

@@ -113,6 +113,24 @@ impl Default for HostLinkConfig {
     }
 }
 
+impl HostLinkConfig {
+    /// Rejects degenerate link calibrations before they can turn into
+    /// zero/NaN transfer durations deep inside the batch scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first nonsensical knob.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !(self.link_bytes_per_sec.is_finite() && self.link_bytes_per_sec > 0.0) {
+            return Err("link_bytes_per_sec must be finite and positive");
+        }
+        if !(self.per_thread_bytes_per_sec.is_finite() && self.per_thread_bytes_per_sec > 0.0) {
+            return Err("per_thread_bytes_per_sec must be finite and positive");
+        }
+        Ok(())
+    }
+}
+
 /// Transfer counters for one direction of the GPU ⇄ host path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransferStats {

@@ -33,6 +33,30 @@ pub struct SsdConfig {
     pub submit_overhead: Dur,
 }
 
+impl SsdConfig {
+    /// Rejects degenerate timing/topology parameters before they can
+    /// produce division-by-zero bandwidths or a zero-channel device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first nonsensical knob.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.block_bytes == 0 {
+            return Err("block_bytes must be at least one byte");
+        }
+        if self.channels == 0 {
+            return Err("channels must be at least one flash channel");
+        }
+        if !(self.channel_bytes_per_sec.is_finite() && self.channel_bytes_per_sec > 0.0) {
+            return Err("channel_bytes_per_sec must be finite and positive");
+        }
+        if !(self.link_bytes_per_sec.is_finite() && self.link_bytes_per_sec > 0.0) {
+            return Err("link_bytes_per_sec must be finite and positive");
+        }
+        Ok(())
+    }
+}
+
 impl Default for SsdConfig {
     fn default() -> SsdConfig {
         SsdConfig {
