@@ -169,6 +169,12 @@ pub struct Gmt {
     metrics: TieringMetrics,
     latency: LatencyBreakdown,
     trace: TraceSink,
+    /// Reused per-access miss buffers: `access` runs once per simulated
+    /// event, so allocating these there would churn the allocator on the
+    /// hottest path (A1). Taken with `mem::take` for the duration of the
+    /// call and put back cleared, capacity intact.
+    scratch_tier2: Vec<PageId>,
+    scratch_ssd: Vec<PageId>,
 }
 
 /// Maps the memory model's [`Tier`] onto the trace vocabulary.
@@ -229,6 +235,8 @@ impl Gmt {
             metrics: TieringMetrics::default(),
             latency: LatencyBreakdown::default(),
             trace: TraceSink::disabled(),
+            scratch_tier2: Vec::new(),
+            scratch_ssd: Vec::new(),
             config,
         }
     }
@@ -631,8 +639,10 @@ impl MemoryBackend for Gmt {
     fn access(&mut self, now: Time, access: &WarpAccess) -> Time {
         self.metrics.accesses += 1;
         let mut ready = now;
-        let mut tier2_fetches: Vec<PageId> = Vec::new();
-        let mut ssd_fetches: Vec<PageId> = Vec::new();
+        // Scratch buffers live on the struct; `take` swaps in empties
+        // (no allocation) and the tail of this fn puts them back.
+        let mut tier2_fetches: Vec<PageId> = std::mem::take(&mut self.scratch_tier2);
+        let mut ssd_fetches: Vec<PageId> = std::mem::take(&mut self.scratch_ssd);
         for page in access.pages.iter() {
             assert!(
                 page.index() < self.table.len(),
@@ -767,14 +777,11 @@ impl MemoryBackend for Gmt {
         // Sequential prefetch (extension, off by default): pull the pages
         // following each demand SSD fetch in the background.
         if self.config.prefetch_degree > 0 {
-            let targets: Vec<PageId> = ssd_fetches
-                .iter()
-                .flat_map(|p| {
-                    (1..=self.config.prefetch_degree as u64).map(move |d| PageId(p.0 + d))
-                })
-                .collect();
-            for page in targets {
-                self.prefetch(now, page);
+            let degree = self.config.prefetch_degree as u64;
+            for &p in &ssd_fetches {
+                for d in 1..=degree {
+                    self.prefetch(now, PageId(p.0 + d));
+                }
             }
         }
 
@@ -783,6 +790,10 @@ impl MemoryBackend for Gmt {
                 self.table.get_mut(page).dirty = true;
             }
         }
+        tier2_fetches.clear();
+        ssd_fetches.clear();
+        self.scratch_tier2 = tier2_fetches;
+        self.scratch_ssd = ssd_fetches;
         ready
     }
 

@@ -1,0 +1,435 @@
+//! Intraprocedural control-flow graphs over the span AST.
+//!
+//! [`build_cfg`] lowers one function body into basic blocks connected by
+//! statement-level control flow: `if`/`else` and `match` fork and join,
+//! `while`/`for`/`loop` get a header block with a back edge (so the
+//! worklist solver in [`crate::dataflow`] iterates them to a fixpoint),
+//! and `return`/`break`/`continue` terminate or redirect their block.
+//! Control flow *nested inside expressions* (`let x = if c { a } else
+//! { b }`, closures, block expressions) is deliberately left to the
+//! transfer functions, which evaluate sub-expressions recursively and
+//! join branch results — the graph only needs to be precise where facts
+//! must converge around loops and merge at joins.
+//!
+//! Blocks carry their lexical loop depth so consumers like the A1
+//! hot-loop rule can ask "does this node execute once per iteration?"
+//! without re-walking the AST.
+
+use crate::ast::{Block, Expr, ExprKind, Stmt, StmtKind};
+use crate::lexer::Token;
+
+/// Index of a [`BasicBlock`] in its [`Cfg`].
+pub type BlockId = usize;
+
+/// One dataflow-relevant operation inside a basic block.
+#[derive(Debug, Clone, Copy)]
+pub enum Node<'a> {
+    /// `let name[: ty] = init;` — binds (or rebinds) a local.
+    Let {
+        /// The bound name when the pattern is a simple identifier.
+        name: Option<&'a str>,
+        /// Token index of that name, for diagnostics.
+        name_tok: Option<usize>,
+        /// Token texts of the ascribed type, if any.
+        ty: &'a [String],
+        /// The initializer, if any.
+        init: Option<&'a Expr>,
+    },
+    /// `for name in iter { … }` — the loop binding, evaluated once per
+    /// iteration at the head of the loop body.
+    ForBind {
+        /// The bound name when the pattern is a simple identifier.
+        name: Option<&'a str>,
+        /// The iterated expression.
+        iter: &'a Expr,
+    },
+    /// An expression evaluated for effect (statement, condition, guard).
+    Eval(&'a Expr),
+    /// A value leaving the function: `return e`, or the body's tail
+    /// expression.
+    Ret(Option<&'a Expr>),
+}
+
+/// One straight-line run of [`Node`]s.
+#[derive(Debug, Default)]
+pub struct BasicBlock<'a> {
+    /// Operations in execution order.
+    pub nodes: Vec<Node<'a>>,
+    /// Successor blocks (empty for the function's exits).
+    pub succs: Vec<BlockId>,
+    /// Lexical loop depth (0 = not inside any loop).
+    pub loop_depth: u32,
+}
+
+/// A function body lowered to basic blocks. Block 0 is the entry.
+#[derive(Debug, Default)]
+pub struct Cfg<'a> {
+    /// The blocks; edges are stored on each block's `succs`.
+    pub blocks: Vec<BasicBlock<'a>>,
+}
+
+impl<'a> Cfg<'a> {
+    /// The entry block's id.
+    pub const ENTRY: BlockId = 0;
+
+    /// Blocks in reverse post-order-ish (construction) order. Good
+    /// enough for a worklist that re-queues on change.
+    pub fn ids(&self) -> impl Iterator<Item = BlockId> {
+        0..self.blocks.len()
+    }
+}
+
+/// Lowers `body` (a function body) into a [`Cfg`]. `toks` is the file's
+/// token stream, used to distinguish `return`/`break`/`continue` (all
+/// parsed as [`ExprKind::Unary`]) by their leading keyword.
+pub fn build_cfg<'a>(body: &'a Block, toks: &'a [Token]) -> Cfg<'a> {
+    let mut b = Builder {
+        cfg: Cfg::default(),
+        toks,
+        loops: Vec::new(),
+    };
+    let entry = b.new_block(0);
+    debug_assert_eq!(entry, Cfg::ENTRY);
+    let exit = b.lower_block(body, entry, true);
+    // The tail block falls off the end of the function; if the body's
+    // last statement was not an explicit Ret, the implicit `()` return
+    // needs no node. Leaving `exit` successor-less marks it terminal.
+    let _ = exit;
+    b.cfg
+}
+
+struct Builder<'a> {
+    cfg: Cfg<'a>,
+    toks: &'a [Token],
+    /// Stack of `(header, exit)` for enclosing loops.
+    loops: Vec<(BlockId, BlockId)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self, depth: u32) -> BlockId {
+        self.cfg.blocks.push(BasicBlock {
+            loop_depth: depth,
+            ..BasicBlock::default()
+        });
+        self.cfg.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: BlockId, to: BlockId) {
+        if !self.cfg.blocks[from].succs.contains(&to) {
+            self.cfg.blocks[from].succs.push(to);
+        }
+    }
+
+    fn depth(&self, at: BlockId) -> u32 {
+        self.cfg.blocks[at].loop_depth
+    }
+
+    /// The keyword starting `e`, when it is one of the control words the
+    /// parser folds into `Unary`.
+    fn control_kw(&self, e: &Expr) -> Option<&'a str> {
+        let t = self.toks.get(e.span.lo)?;
+        match t.text.as_str() {
+            "return" | "break" | "continue" => Some(self.toks[e.span.lo].text.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Lowers `block` starting in `cur`; returns the block control falls
+    /// out of. `is_fn_body` promotes a trailing expression statement to
+    /// a [`Node::Ret`].
+    fn lower_block(&mut self, block: &'a Block, mut cur: BlockId, is_fn_body: bool) -> BlockId {
+        let last = block.stmts.len().wrapping_sub(1);
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            cur = self.lower_stmt(stmt, cur, is_fn_body && i == last);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &'a Stmt, cur: BlockId, is_tail: bool) -> BlockId {
+        match &stmt.kind {
+            StmtKind::Let {
+                name,
+                name_tok,
+                ty,
+                init,
+            } => {
+                self.cfg.blocks[cur].nodes.push(Node::Let {
+                    name: name.as_deref(),
+                    name_tok: *name_tok,
+                    ty,
+                    init: init.as_ref(),
+                });
+                cur
+            }
+            StmtKind::Expr(e) => self.lower_expr_stmt(e, cur, is_tail),
+            StmtKind::Item(_) | StmtKind::Verbatim => cur,
+        }
+    }
+
+    /// Lowers a statement-position expression, splitting blocks for
+    /// statement-level control flow.
+    fn lower_expr_stmt(&mut self, e: &'a Expr, cur: BlockId, is_tail: bool) -> BlockId {
+        let depth = self.depth(cur);
+        match &e.kind {
+            ExprKind::If { cond, then, els } => {
+                self.cfg.blocks[cur].nodes.push(Node::Eval(cond));
+                let join = self.new_block(depth);
+                let then_entry = self.new_block(depth);
+                self.edge(cur, then_entry);
+                let then_exit = self.lower_block(then, then_entry, false);
+                self.edge(then_exit, join);
+                match els {
+                    Some(els) => {
+                        let else_entry = self.new_block(depth);
+                        self.edge(cur, else_entry);
+                        let else_exit = self.lower_expr_stmt(els, else_entry, false);
+                        self.edge(else_exit, join);
+                    }
+                    None => self.edge(cur, join),
+                }
+                join
+            }
+            ExprKind::While { cond, body } => {
+                let header = self.new_block(depth);
+                self.edge(cur, header);
+                self.cfg.blocks[header].nodes.push(Node::Eval(cond));
+                let exit = self.new_block(depth);
+                let body_entry = self.new_block(depth + 1);
+                self.edge(header, body_entry);
+                self.edge(header, exit);
+                self.loops.push((header, exit));
+                let body_exit = self.lower_block(body, body_entry, false);
+                self.loops.pop();
+                self.edge(body_exit, header);
+                exit
+            }
+            ExprKind::For { iter, body } => {
+                let header = self.new_block(depth);
+                self.edge(cur, header);
+                let exit = self.new_block(depth);
+                let body_entry = self.new_block(depth + 1);
+                self.edge(header, body_entry);
+                self.edge(header, exit);
+                let bind_name = self.for_pattern_name(e, iter);
+                self.cfg.blocks[body_entry].nodes.push(Node::ForBind {
+                    name: bind_name,
+                    iter,
+                });
+                self.loops.push((header, exit));
+                let body_exit = self.lower_block(body, body_entry, false);
+                self.loops.pop();
+                self.edge(body_exit, header);
+                exit
+            }
+            ExprKind::Loop(body) => {
+                let header = self.new_block(depth);
+                self.edge(cur, header);
+                let exit = self.new_block(depth);
+                let body_entry = self.new_block(depth + 1);
+                self.edge(header, body_entry);
+                self.loops.push((header, exit));
+                let body_exit = self.lower_block(body, body_entry, false);
+                self.loops.pop();
+                self.edge(body_exit, header);
+                // `loop` exits only through `break` edges added above.
+                exit
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.cfg.blocks[cur].nodes.push(Node::Eval(scrutinee));
+                let join = self.new_block(depth);
+                if arms.is_empty() {
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let arm_entry = self.new_block(depth);
+                    self.edge(cur, arm_entry);
+                    if let Some(g) = &arm.guard {
+                        self.cfg.blocks[arm_entry].nodes.push(Node::Eval(g));
+                    }
+                    let arm_exit = self.lower_expr_stmt(&arm.body, arm_entry, false);
+                    self.edge(arm_exit, join);
+                }
+                join
+            }
+            ExprKind::BlockExpr(b) => self.lower_block(b, cur, false),
+            ExprKind::Unary(inner) => match self.control_kw(e) {
+                Some("return") => {
+                    self.cfg.blocks[cur].nodes.push(Node::Ret(inner.as_deref()));
+                    // Anything after a return is dead: fresh, unreachable
+                    // block keeps construction simple.
+                    self.new_block(depth)
+                }
+                Some("break") => {
+                    if let Some(inner) = inner {
+                        self.cfg.blocks[cur].nodes.push(Node::Eval(inner));
+                    }
+                    if let Some(&(_, exit)) = self.loops.last() {
+                        self.edge(cur, exit);
+                    }
+                    self.new_block(depth)
+                }
+                Some("continue") => {
+                    if let Some(&(header, _)) = self.loops.last() {
+                        self.edge(cur, header);
+                    }
+                    self.new_block(depth)
+                }
+                _ => {
+                    self.push_value(e, cur, is_tail);
+                    cur
+                }
+            },
+            _ => {
+                self.push_value(e, cur, is_tail);
+                cur
+            }
+        }
+    }
+
+    fn push_value(&mut self, e: &'a Expr, cur: BlockId, is_tail: bool) {
+        if is_tail {
+            self.cfg.blocks[cur].nodes.push(Node::Ret(Some(e)));
+        } else {
+            self.cfg.blocks[cur].nodes.push(Node::Eval(e));
+        }
+    }
+
+    /// Extracts the binding name of `for <pat> in iter` when the pattern
+    /// is a single identifier (possibly `mut`-prefixed). The pattern
+    /// lives in the gap tokens between the `for` keyword and the
+    /// iterated expression.
+    fn for_pattern_name(&self, for_expr: &Expr, iter: &Expr) -> Option<&'a str> {
+        let lo = for_expr.span.lo + 1; // past `for`
+        let hi = iter.span.lo.saturating_sub(1); // before `in`
+        let mut names = (lo..hi)
+            .map(|i| &self.toks[i])
+            .filter(|t| t.kind == crate::lexer::TokKind::Ident && t.text != "mut");
+        let first = names.next()?;
+        names.next().is_none().then_some(first.text.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ItemKind;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn cfg_of(src: &str) -> (Vec<crate::lexer::Token>, crate::ast::File) {
+        let toks = lex(src).tokens;
+        let file = parse_file(&toks);
+        (toks, file)
+    }
+
+    fn first_fn_cfg<'a>(file: &'a crate::ast::File, toks: &'a [crate::lexer::Token]) -> Cfg<'a> {
+        for item in &file.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                return build_cfg(f.body.as_ref().expect("body"), toks);
+            }
+        }
+        panic!("no fn in source");
+    }
+
+    #[test]
+    fn straight_line_code_is_one_block() {
+        let (toks, file) = cfg_of("fn f() { let a = 1; let b = a; b }");
+        let cfg = first_fn_cfg(&file, &toks);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].nodes.len(), 3);
+        assert!(matches!(cfg.blocks[0].nodes[2], Node::Ret(Some(_))));
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn if_else_forks_and_joins() {
+        let (toks, file) = cfg_of("fn f(c: bool) { if c { a(); } else { b(); } d(); }");
+        let cfg = first_fn_cfg(&file, &toks);
+        // entry -> then, entry -> else, both -> join.
+        assert_eq!(cfg.blocks[Cfg::ENTRY].succs.len(), 2);
+        let join = cfg.blocks[Cfg::ENTRY]
+            .succs
+            .iter()
+            .map(|&s| &cfg.blocks[s])
+            .find_map(|b| b.succs.first())
+            .copied()
+            .expect("branches rejoin");
+        assert_eq!(cfg.blocks[join].nodes.len(), 1, "d() lands in the join");
+    }
+
+    #[test]
+    fn while_loop_has_a_back_edge_and_depth() {
+        let (toks, file) = cfg_of("fn f() { while c() { body(); } after(); }");
+        let cfg = first_fn_cfg(&file, &toks);
+        let header = cfg.blocks[Cfg::ENTRY].succs[0];
+        assert_eq!(cfg.blocks[header].succs.len(), 2, "body + exit");
+        let body = *cfg.blocks[header]
+            .succs
+            .iter()
+            .find(|&&s| cfg.blocks[s].loop_depth == 1)
+            .expect("body is inside the loop");
+        assert!(
+            cfg.blocks[body].succs.contains(&header),
+            "body loops back to the header"
+        );
+    }
+
+    #[test]
+    fn for_loop_binds_its_pattern_in_the_body() {
+        let (toks, file) = cfg_of("fn f(xs: Vec<u32>) { for x in xs.iter() { use_it(x); } }");
+        let cfg = first_fn_cfg(&file, &toks);
+        let bound = cfg.blocks.iter().any(|b| {
+            b.nodes.iter().any(|n| {
+                matches!(
+                    n,
+                    Node::ForBind {
+                        name: Some("x"),
+                        ..
+                    }
+                )
+            })
+        });
+        assert!(bound, "for-binding surfaces as a ForBind node");
+    }
+
+    #[test]
+    fn return_terminates_its_block() {
+        let (toks, file) = cfg_of("fn f(c: bool) -> u32 { if c { return 1; } 2 }");
+        let cfg = first_fn_cfg(&file, &toks);
+        let rets = cfg
+            .blocks
+            .iter()
+            .flat_map(|b| &b.nodes)
+            .filter(|n| matches!(n, Node::Ret(_)))
+            .count();
+        assert_eq!(rets, 2, "explicit return + tail expression");
+    }
+
+    #[test]
+    fn break_exits_the_innermost_loop() {
+        let (toks, file) = cfg_of("fn f() { loop { if done() { break; } step(); } after(); }");
+        let cfg = first_fn_cfg(&file, &toks);
+        // The loop exit must be reachable from inside the loop body.
+        let exit_depths: Vec<u32> = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.loop_depth > 0)
+            .flat_map(|b| b.succs.iter().map(|&s| cfg.blocks[s].loop_depth))
+            .collect();
+        assert!(
+            exit_depths.contains(&0),
+            "a break edge leaves the loop: {exit_depths:?}"
+        );
+    }
+
+    #[test]
+    fn match_arms_fork_and_rejoin() {
+        let (toks, file) =
+            cfg_of("fn f(x: u32) { match x { 0 => zero(), _ => other(), } done(); }");
+        let cfg = first_fn_cfg(&file, &toks);
+        assert!(
+            cfg.blocks[Cfg::ENTRY].succs.len() >= 2,
+            "one successor per arm"
+        );
+    }
+}

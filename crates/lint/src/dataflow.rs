@@ -1,0 +1,306 @@
+//! A worklist-based forward dataflow solver over [`crate::cfg`] graphs.
+//!
+//! The solver is generic over an [`Analysis`]: a fact lattice (with a
+//! bottom element and a join that reports change) plus a transfer
+//! function over CFG [`Node`]s. It iterates blocks to a fixpoint —
+//! back edges from loops re-queue their header until facts stabilize —
+//! and returns the fact *entering* every block. Rule passes then make a
+//! final deterministic sweep over the blocks with the solved entry facts
+//! to emit diagnostics; keeping the reporting pass separate from the
+//! fixpoint means a finding can never depend on visit order.
+//!
+//! Two instances live in this crate:
+//!
+//! * [`ReachingDefs`] — the textbook gen/kill bitvector analysis, kept
+//!   small and exhaustively tested; it is the reference semantics for
+//!   how facts must move through the graph.
+//! * the N1 taint lattice in [`crate::flow`] — a per-variable taint map
+//!   whose join is bitwise union.
+
+use crate::cfg::{BlockId, Cfg, Node};
+
+/// One forward dataflow problem.
+pub trait Analysis<'a> {
+    /// The per-program-point fact.
+    type Fact: Clone;
+
+    /// The fact entering the function (parameter bindings etc.).
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// The bottom element every other block starts from.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Applies one node's effect to `fact`, in place. `at` is the node's
+    /// stable `(block, index-in-block)` position — the worklist revisits
+    /// blocks, so any per-site state must key on position, not on visit
+    /// order.
+    fn transfer(&mut self, at: (BlockId, usize), node: &Node<'a>, fact: &mut Self::Fact);
+}
+
+/// Runs `analysis` over `cfg` to a fixpoint.
+///
+/// Returns the fact at the *entry* of every block. Termination follows
+/// from the usual argument: joins only grow facts, and every lattice
+/// used here has finite height (bitsets over a fixed definition universe
+/// for [`ReachingDefs`], bitmasks over finitely many variables for the
+/// taint map).
+pub fn solve<'a, A: Analysis<'a>>(cfg: &Cfg<'a>, analysis: &mut A) -> Vec<A::Fact> {
+    let n = cfg.blocks.len();
+    let mut entry_facts: Vec<A::Fact> = (0..n).map(|_| analysis.bottom()).collect();
+    if n == 0 {
+        return entry_facts;
+    }
+    entry_facts[Cfg::ENTRY] = analysis.entry_fact();
+    let mut queued = vec![false; n];
+    let mut worklist: Vec<BlockId> = vec![Cfg::ENTRY];
+    queued[Cfg::ENTRY] = true;
+    // Defensive ceiling: `n²·height` rounds is far beyond what any real
+    // fixpoint needs; a logic bug degenerates to a partial (sound for
+    // reporting: facts only under-approximate growth) result, not a hang.
+    let mut fuel = 64 * n * n + 4096;
+    while let Some(block) = worklist.pop() {
+        queued[block] = false;
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let mut fact = entry_facts[block].clone();
+        for (i, node) in cfg.blocks[block].nodes.iter().enumerate() {
+            analysis.transfer((block, i), node, &mut fact);
+        }
+        for &succ in &cfg.blocks[block].succs {
+            if analysis.join(&mut entry_facts[succ], &fact) && !queued[succ] {
+                queued[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    entry_facts
+}
+
+/// Replays the solved facts over every block, calling `visit` for each
+/// node with the fact *before* that node. This is the deterministic
+/// reporting sweep: blocks in id order, nodes in source order.
+pub fn replay<'a, A, F>(cfg: &Cfg<'a>, analysis: &mut A, entry_facts: &[A::Fact], visit: &mut F)
+where
+    A: Analysis<'a>,
+    F: FnMut(&mut A, BlockId, &Node<'a>, &A::Fact),
+{
+    for block in cfg.ids() {
+        let mut fact = entry_facts[block].clone();
+        for (i, node) in cfg.blocks[block].nodes.iter().enumerate() {
+            visit(analysis, block, node, &fact);
+            analysis.transfer((block, i), node, &mut fact);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Reaching definitions: the canonical gen/kill instance.
+// --------------------------------------------------------------------------
+
+use crate::ast::ExprKind;
+use std::collections::BTreeMap;
+
+/// One definition site: `(variable name, (block, node index))`.
+pub type DefSite = (String, (BlockId, usize));
+
+/// Classic reaching-definitions over simple (identifier-bound) locals.
+///
+/// Definitions are `let` bindings, `for` bindings and assignments whose
+/// left-hand side is a bare path. Each definition *kills* every other
+/// definition of the same name and *gens* itself; the solved fact at a
+/// use site is the set of definitions that may reach it.
+pub struct ReachingDefs {
+    /// All definition sites, indexed by the bit they own.
+    pub defs: Vec<DefSite>,
+    /// Bit index lookup by node position.
+    index: BTreeMap<(BlockId, usize), usize>,
+    /// Kill mask per variable name: all bits defining that name.
+    kills: BTreeMap<String, Vec<usize>>,
+}
+
+/// A set of definition bits (one `u64` word per 64 definitions).
+pub type DefSet = Vec<u64>;
+
+impl ReachingDefs {
+    /// Numbers every definition in `cfg` so the bitvectors have a fixed
+    /// universe before solving starts.
+    pub fn new(cfg: &Cfg<'_>) -> ReachingDefs {
+        let mut rd = ReachingDefs {
+            defs: Vec::new(),
+            index: BTreeMap::new(),
+            kills: BTreeMap::new(),
+        };
+        for block in cfg.ids() {
+            for (i, node) in cfg.blocks[block].nodes.iter().enumerate() {
+                if let Some(name) = def_name(node) {
+                    let bit = rd.defs.len();
+                    rd.index.insert((block, i), bit);
+                    rd.kills.entry(name.to_string()).or_default().push(bit);
+                    rd.defs.push((name.to_string(), (block, i)));
+                }
+            }
+        }
+        rd
+    }
+
+    fn words(&self) -> usize {
+        self.defs.len().div_ceil(64)
+    }
+
+    /// The names whose definitions are set in `fact`, deduplicated.
+    pub fn names_in(&self, fact: &DefSet) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .defs
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| fact[bit / 64] & (1u64 << (bit % 64)) != 0)
+            .map(|(_, (name, _))| name.as_str())
+            .collect();
+        out.dedup();
+        out
+    }
+}
+
+/// The variable a node defines, when its target is a simple identifier.
+fn def_name<'a>(node: &Node<'a>) -> Option<&'a str> {
+    match node {
+        Node::Let { name, .. } | Node::ForBind { name, .. } => *name,
+        Node::Eval(e) => {
+            if let ExprKind::Assign { lhs, .. } = &e.kind {
+                if let ExprKind::Path(segs) = &lhs.kind {
+                    if let [single] = segs.as_slice() {
+                        return Some(single);
+                    }
+                }
+            }
+            None
+        }
+        Node::Ret(_) => None,
+    }
+}
+
+impl<'a> Analysis<'a> for ReachingDefs {
+    type Fact = DefSet;
+
+    fn entry_fact(&self) -> DefSet {
+        vec![0; self.words()]
+    }
+
+    fn bottom(&self) -> DefSet {
+        vec![0; self.words()]
+    }
+
+    fn join(&self, into: &mut DefSet, from: &DefSet) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from) {
+            let merged = *a | *b;
+            changed |= merged != *a;
+            *a = merged;
+        }
+        changed
+    }
+
+    fn transfer(&mut self, at: (BlockId, usize), node: &Node<'a>, fact: &mut DefSet) {
+        let Some(name) = def_name(node) else { return };
+        // Kill every definition of this name…
+        if let Some(bits) = self.kills.get(name) {
+            for &bit in bits {
+                fact[bit / 64] &= !(1u64 << (bit % 64));
+            }
+        }
+        // …then gen this site's own bit.
+        if let Some(&bit) = self.index.get(&at) {
+            fact[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ItemKind;
+    use crate::cfg::build_cfg;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    /// Solves reaching defs for the first fn in `src` and returns the
+    /// definition names reaching each block's entry.
+    fn reach(src: &str) -> Vec<Vec<String>> {
+        let toks = lex(src).tokens;
+        let file = parse_file(&toks);
+        for item in &file.items {
+            if let ItemKind::Fn(f) = &item.kind {
+                let cfg = build_cfg(f.body.as_ref().expect("body"), &toks);
+                let mut rd = ReachingDefs::new(&cfg);
+                let facts = solve(&cfg, &mut rd);
+                return facts
+                    .iter()
+                    .map(|f| rd.names_in(f).iter().map(|s| s.to_string()).collect())
+                    .collect();
+            }
+        }
+        panic!("no fn");
+    }
+
+    #[test]
+    fn straight_line_defs_do_not_reach_entry() {
+        let per_block = reach("fn f() { let a = 1; let b = 2; }");
+        assert_eq!(per_block.len(), 1);
+        assert!(per_block[0].is_empty(), "nothing reaches the entry");
+    }
+
+    #[test]
+    fn branch_defs_merge_at_the_join() {
+        let per_block =
+            reach("fn f(c: bool) { let mut a = 0; if c { a = 1; } else { a = 2; } use_it(a); }");
+        // Some block (the join) must see `a` reaching it.
+        assert!(
+            per_block
+                .iter()
+                .any(|names| names.contains(&"a".to_string())),
+            "the join sees a reaching definition of `a`: {per_block:?}"
+        );
+    }
+
+    #[test]
+    fn loop_body_defs_reach_the_header_via_the_back_edge() {
+        let per_block = reach("fn f() { let mut n = 0; while go() { n = step(n); } done(n); }");
+        let blocks_seeing_n = per_block
+            .iter()
+            .filter(|names| names.contains(&"n".to_string()))
+            .count();
+        // Header, body, and exit all see `n` (initial and/or looped def).
+        assert!(blocks_seeing_n >= 3, "{per_block:?}");
+    }
+
+    #[test]
+    fn redefinition_kills_the_earlier_def() {
+        let toks = lex("fn f() { let a = 1; let a = 2; use_it(a); }").tokens;
+        let file = parse_file(&toks);
+        let ItemKind::Fn(f) = &file.items[0].kind else {
+            panic!()
+        };
+        let cfg = build_cfg(f.body.as_ref().unwrap(), &toks);
+        let mut rd = ReachingDefs::new(&cfg);
+        let facts = solve(&cfg, &mut rd);
+        // Straight-line: single block, so replay the transfers to the end.
+        let mut fact = facts[0].clone();
+        for (i, node) in cfg.blocks[0].nodes.iter().enumerate() {
+            rd.transfer((0, i), node, &mut fact);
+        }
+        let set_bits: Vec<&DefSite> = rd
+            .defs
+            .iter()
+            .enumerate()
+            .filter(|(bit, _)| fact[bit / 64] & (1 << (bit % 64)) != 0)
+            .map(|(_, d)| d)
+            .collect();
+        assert_eq!(set_bits.len(), 1, "only the second `let a` survives");
+        assert_eq!(set_bits[0].1, (0, 1), "and it is the later site");
+    }
+}

@@ -49,6 +49,10 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column of the violation.
     pub col: u32,
+    /// 1-based line of the character just past the violation.
+    pub end_line: u32,
+    /// 1-based column of the character just past the violation.
+    pub end_col: u32,
     /// Human-readable description of what was found and what to do.
     pub message: String,
 }
@@ -124,12 +128,15 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"rule\":{},\"level\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{}}}",
+                "{{\"rule\":{},\"level\":{},\"file\":{},\"line\":{},\"col\":{},\
+                 \"end_line\":{},\"end_col\":{},\"message\":{}}}",
                 json_str(f.rule),
                 json_str(&f.level.to_string()),
                 json_str(&f.file.display().to_string()),
                 f.line,
                 f.col,
+                f.end_line,
+                f.end_col,
                 json_str(&f.message),
             );
         }
@@ -178,6 +185,8 @@ mod tests {
             file: PathBuf::from("crates/sim/src/time.rs"),
             line: 3,
             col: 7,
+            end_line: 3,
+            end_col: 14,
             message: "wall-clock `Instant` in virtual-time code".to_string(),
         }
     }
@@ -201,6 +210,10 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\\\""));
         assert!(json.contains("\\\\"));
+        assert!(
+            json.contains("\"end_line\":3") && json.contains("\"end_col\":14"),
+            "diagnostics carry a full region, not just a start point: {json}"
+        );
         assert!(json.contains("\"ok\":true"), "warn-only run is ok: {json}");
         report.findings.push(finding(Level::Deny));
         assert!(report.render_json().contains("\"ok\":false"));

@@ -2,25 +2,45 @@
 //! semantic (AST + symbol-table) rules over every file, and assembles
 //! the final [`Report`].
 //!
-//! The workspace run is a four-pass pipeline:
+//! The workspace run is a five-pass pipeline:
 //!
 //! 1. read + lex + parse every member file into [`AnalyzedFile`]s,
 //! 2. build the workspace [`Symbols`] table,
 //! 3. per file: token rules (D1/D2/D3/P1/M1), S1 on crate roots, and
 //!    the U1 unit-dimension walker (which needs the global fn table),
-//! 4. workspace-wide C1 config-coverage and T1 trace-schema checks.
+//! 4. workspace-wide C1 config-coverage and T1 trace-schema checks,
+//! 5. the flow-sensitive families (N1/A1/G1) over the call graph and
+//!    per-function CFGs ([`crate::flow`]).
+//!
+//! Every rule pass is individually timed; `--timings` surfaces the
+//! accumulated per-rule wall time so budget regressions (the CI
+//! `--max-millis` gate) can be attributed to a rule instead of bisected.
 
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::time::Duration;
+use std::time::Instant; // gmt-lint: allow(D1): host-side lint timing, not simulation.
 
 use crate::diag::{Finding, Level, Report};
+use crate::flow::{check_flow_rules, ShardReport};
 use crate::rules::{
-    check_config_coverage, check_tokens, check_trace_schema, check_unit_dimensions,
-    has_forbid_unsafe, Config, FileContext, Findings, TargetKind,
+    check_config_coverage, check_d1, check_d2, check_d3, check_m1, check_p1, check_trace_schema,
+    check_unit_dimensions, has_forbid_unsafe, test_mask, Config, FileContext, Findings, TargetKind,
 };
 use crate::symbols::{build_symbols, AnalyzedFile, Symbols};
 use crate::workspace::workspace_files;
+
+/// Accumulated wall time per rule pass, in first-seen order.
+pub type Timings = Vec<(&'static str, Duration)>;
+
+fn bump(timings: &mut Timings, name: &'static str, d: Duration) {
+    if let Some(entry) = timings.iter_mut().find(|(n, _)| *n == name) {
+        entry.1 += d;
+    } else {
+        timings.push((name, d));
+    }
+}
 
 fn context<'a>(file: &'a AnalyzedFile) -> FileContext<'a> {
     FileContext {
@@ -30,14 +50,40 @@ fn context<'a>(file: &'a AnalyzedFile) -> FileContext<'a> {
     }
 }
 
-/// Runs every per-file rule over one analyzed file.
-fn check_file(file: &AnalyzedFile, syms: &Symbols, config: &Config, report: &mut Report) {
+/// Runs every per-file rule over one analyzed file, attributing wall
+/// time to each rule pass.
+fn check_file(
+    file: &AnalyzedFile,
+    syms: &Symbols,
+    config: &Config,
+    report: &mut Report,
+    timings: &mut Timings,
+) {
     let ctx = context(file);
     let mut out = Findings::new(&file.lexed.suppressions);
-    check_tokens(ctx, &file.lexed, config, &mut out);
-    check_unit_dimensions(ctx, file, syms, config, &mut out, None);
+    let mask = test_mask(&file.lexed.tokens);
+    let mut timed = |name, f: &mut dyn FnMut(&mut Findings)| {
+        let t = Instant::now();
+        f(&mut out);
+        bump(timings, name, t.elapsed());
+    };
+    timed("D1", &mut |out| {
+        check_d1(ctx, &file.lexed, &mask, config, out)
+    });
+    timed("D2", &mut |out| check_d2(ctx, &file.lexed, config, out));
+    timed("D3", &mut |out| {
+        check_d3(ctx, &file.lexed, &mask, config, out)
+    });
+    timed("P1", &mut |out| {
+        check_p1(ctx, &file.lexed, &mask, config, out)
+    });
+    timed("M1", &mut |out| check_m1(ctx, &file.lexed, config, out));
+    timed("U1", &mut |out| {
+        check_unit_dimensions(ctx, file, syms, config, out, None);
+    });
     report.findings.extend(out.findings);
     report.suppressed += out.suppressed;
+    let t = Instant::now();
     if file.crate_root
         && config.level("S1") != Level::Allow
         && !has_forbid_unsafe(&file.lexed.tokens)
@@ -46,6 +92,7 @@ fn check_file(file: &AnalyzedFile, syms: &Symbols, config: &Config, report: &mut
             .findings
             .push(missing_forbid_unsafe(&file.rel, config));
     }
+    bump(timings, "S1", t.elapsed());
     report.files_scanned += 1;
 }
 
@@ -56,6 +103,8 @@ fn missing_forbid_unsafe(rel_path: &Path, config: &Config) -> Finding {
         file: rel_path.to_path_buf(),
         line: 1,
         col: 1,
+        end_line: 1,
+        end_col: 1,
         message: "crate root is missing `#![forbid(unsafe_code)]`; every workspace crate \
                   must statically rule unsafe code out"
             .to_string(),
@@ -65,9 +114,10 @@ fn missing_forbid_unsafe(rel_path: &Path, config: &Config) -> Finding {
 /// Lints a single source string as if it lived at `rel_path`.
 ///
 /// This is the unit the self-test fixtures drive: the same rule set the
-/// workspace run uses, minus the filesystem, with the file acting as its
-/// own one-file workspace for the symbol-table rules. Returns the
-/// surviving findings plus the number of suppressed ones.
+/// workspace run uses — token rules, symbol-table rules, and the
+/// flow-sensitive N1/A1/G1 families — minus the filesystem, with the
+/// file acting as its own one-file workspace. Returns the surviving
+/// findings plus the number of suppressed ones.
 pub fn check_source(
     rel_path: &Path,
     crate_name: &str,
@@ -82,15 +132,7 @@ pub fn check_source(
         false,
         source,
     )];
-    let syms = build_symbols(&files);
-    let mut report = Report::default();
-    check_file(&files[0], &syms, config, &mut report);
-    let (c1, c1_suppressed) = check_config_coverage(&files, &syms, config);
-    let (t1, t1_suppressed) = check_trace_schema(&files, &syms, config);
-    report.findings.extend(c1);
-    report.findings.extend(t1);
-    report.suppressed += c1_suppressed + t1_suppressed;
-    sort_findings(&mut report.findings);
+    let (report, _, _) = lint_files_timed(&files, config);
     (report.findings, report.suppressed)
 }
 
@@ -128,18 +170,38 @@ pub fn load_workspace(root: &Path, include_vendor: bool) -> io::Result<Vec<Analy
 
 /// Lints a pre-loaded set of files as one workspace.
 pub fn lint_files(files: &[AnalyzedFile], config: &Config) -> Report {
+    lint_files_timed(files, config).0
+}
+
+/// Lints a pre-loaded set of files, returning the report plus per-rule
+/// wall-time attribution (`--timings`) and the G1 sharding-readiness
+/// inventory (`--shard-report`).
+pub fn lint_files_timed(files: &[AnalyzedFile], config: &Config) -> (Report, Timings, ShardReport) {
+    let mut timings = Timings::new();
+    let t = Instant::now();
     let syms = build_symbols(files);
+    bump(&mut timings, "symbols", t.elapsed());
     let mut report = Report::default();
     for file in files {
-        check_file(file, &syms, config, &mut report);
+        check_file(file, &syms, config, &mut report, &mut timings);
     }
+    let t = Instant::now();
     let (c1, c1_suppressed) = check_config_coverage(files, &syms, config);
+    bump(&mut timings, "C1", t.elapsed());
+    let t = Instant::now();
     let (t1, t1_suppressed) = check_trace_schema(files, &syms, config);
+    bump(&mut timings, "T1", t.elapsed());
     report.findings.extend(c1);
     report.findings.extend(t1);
     report.suppressed += c1_suppressed + t1_suppressed;
+    let flow = check_flow_rules(files, &syms, config);
+    report.findings.extend(flow.findings);
+    report.suppressed += flow.suppressed;
+    for (name, d) in flow.timings {
+        bump(&mut timings, name, d);
+    }
     sort_findings(&mut report.findings);
-    report
+    (report, timings, flow.shard)
 }
 
 /// Lints the whole workspace rooted at `root`.
@@ -174,5 +236,24 @@ mod tests {
             .overrides
             .insert("S1".to_string(), crate::diag::Level::Allow);
         assert!(check_crate_root(&rel, "pub fn f() {}", &relaxed).is_none());
+    }
+
+    #[test]
+    fn timed_run_attributes_every_rule_pass() {
+        let files = [AnalyzedFile::analyze(
+            PathBuf::from("crates/core/src/x.rs"),
+            "core".into(),
+            crate::rules::TargetKind::Lib,
+            false,
+            "pub fn access() { let v: Vec<u32> = Vec::new(); drop(v); }",
+        )];
+        let config = Config::default();
+        let (_, timings, _) = lint_files_timed(&files, &config);
+        let names: Vec<&str> = timings.iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "D1", "D2", "D3", "P1", "M1", "U1", "S1", "C1", "T1", "N1", "A1", "G1",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
     }
 }

@@ -56,6 +56,18 @@ impl Token {
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
     }
+
+    /// The 1-based `(line, column)` of the character just past this
+    /// token. Multi-line tokens (raw strings) advance the line count.
+    pub fn end_pos(&self) -> (u32, u32) {
+        let newlines = self.text.matches('\n').count() as u32;
+        if newlines == 0 {
+            (self.line, self.col + self.text.chars().count() as u32)
+        } else {
+            let tail = self.text.rsplit('\n').next().unwrap_or("");
+            (self.line + newlines, tail.chars().count() as u32 + 1)
+        }
+    }
 }
 
 /// A `// gmt-lint: allow(<rules>)` comment found while lexing.

@@ -11,7 +11,13 @@
 //! * **D3 no-hashmap-in-export** — export paths iterate ordered maps,
 //! * **S1 forbid-unsafe** — every crate root forbids `unsafe`,
 //! * **P1 no-panic-in-lib** — library code surfaces typed errors,
-//! * **M1 metrics-conservation** — `TieringMetrics::merge` sums every field.
+//! * **M1 metrics-conservation** — `TieringMetrics::merge` sums every field,
+//! * **N1 nondeterminism-taint** — flow-sensitive: wall-clock, RNG,
+//!   thread-id and hash-iteration taint must not reach export sinks,
+//! * **A1 alloc-in-hot-loop** — no allocation churn in loops reachable
+//!   from the DES event roots,
+//! * **G1 shard-safety** — shared mutable state on the event-loop path
+//!   is denied or inventoried for the sharded-DES roadmap item.
 //!
 //! The analysis tokenizes with a hand-rolled lexer ([`lexer`]) rather
 //! than a parser dependency, keeping the workspace offline-buildable.
@@ -30,9 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod engine;
 pub mod fix;
+pub mod flow;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
@@ -42,4 +52,5 @@ pub mod workspace;
 
 pub use diag::{Finding, Level, Report};
 pub use engine::{check_crate_root, check_source, lint_workspace};
+pub use flow::ShardReport;
 pub use rules::{Config, FileContext, TargetKind, RULES};

@@ -30,6 +30,8 @@ OPTIONS:
     --baseline <PATH>       Silence findings recorded in the snapshot at PATH
     --write-baseline <PATH> Write the current findings as a snapshot and exit
     --max-millis <N>        Fail (exit 2) if the lint pass itself exceeds N ms
+    --timings               Report per-rule wall time on stderr
+    --shard-report <PATH>   Write the G1 sharding-readiness inventory (JSON) to PATH
     --include-vendor        Also lint vendor/* stub crates
     --list-rules            Print the rule table and exit
     -h, --help              Print this help
@@ -82,6 +84,8 @@ fn run() -> Result<bool, String> {
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
     let mut max_millis: Option<u64> = None;
+    let mut show_timings = false;
+    let mut shard_report: Option<PathBuf> = None;
 
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -128,6 +132,12 @@ fn run() -> Result<bool, String> {
                         .map_err(|_| format!("--max-millis: `{n}` is not a number"))?,
                 );
             }
+            "--timings" => show_timings = true,
+            "--shard-report" => {
+                shard_report = Some(PathBuf::from(
+                    args.next().ok_or("--shard-report needs a path")?,
+                ));
+            }
             "--include-vendor" => include_vendor = true,
             "--list-rules" => {
                 for r in RULES {
@@ -158,7 +168,7 @@ fn run() -> Result<bool, String> {
     let started = Instant::now();
     let mut files =
         gmt_lint::engine::load_workspace(&root, include_vendor).map_err(|e| e.to_string())?;
-    let mut report = gmt_lint::engine::lint_files(&files, &config);
+    let (mut report, mut timings, mut shard) = gmt_lint::engine::lint_files_timed(&files, &config);
 
     if apply_fix {
         let fixed_files = apply_fixes(&root, &files, &report, &config)?;
@@ -169,22 +179,41 @@ fn run() -> Result<bool, String> {
             );
             files = gmt_lint::engine::load_workspace(&root, include_vendor)
                 .map_err(|e| e.to_string())?;
-            report = gmt_lint::engine::lint_files(&files, &config);
+            (report, timings, shard) = gmt_lint::engine::lint_files_timed(&files, &config);
         }
     }
 
+    if let Some(path) = shard_report {
+        fs::write(&path, shard.render_json()).map_err(|e| e.to_string())?;
+        eprintln!(
+            "gmt-lint: wrote shard-readiness report ({} entr{}, {} hot fn(s)) to {}",
+            shard.entries.len(),
+            if shard.entries.len() == 1 { "y" } else { "ies" },
+            shard.hot_fns,
+            path.display()
+        );
+    }
+
     if let Some(path) = write_baseline {
-        let keys: BTreeSet<String> = report.findings.iter().map(baseline_key).collect();
+        // Entries land in (file, line, rule) order so a regenerated
+        // baseline diffs minimally against the previous one; the keys
+        // themselves stay line-free (see `baseline_key`).
+        let mut ordered: Vec<&gmt_lint::Finding> = report.findings.iter().collect();
+        ordered.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        let mut seen: BTreeSet<String> = BTreeSet::new();
         let mut out = String::new();
-        for key in &keys {
-            out.push_str(key);
-            out.push('\n');
+        for f in ordered {
+            let key = baseline_key(f);
+            if seen.insert(key.clone()) {
+                out.push_str(&key);
+                out.push('\n');
+            }
         }
         fs::write(&path, out).map_err(|e| e.to_string())?;
         eprintln!(
             "gmt-lint: wrote {} baseline entr{} to {}",
-            keys.len(),
-            if keys.len() == 1 { "y" } else { "ies" },
+            seen.len(),
+            if seen.len() == 1 { "y" } else { "ies" },
             path.display()
         );
         return Ok(true);
@@ -202,6 +231,14 @@ fn run() -> Result<bool, String> {
     }
 
     let elapsed = started.elapsed();
+    if show_timings {
+        let mut by_cost = timings.clone();
+        by_cost.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+        eprintln!("gmt-lint: per-rule wall time (total {elapsed:?}):");
+        for (name, d) in &by_cost {
+            eprintln!("  {name:<10} {:>9.3}ms", d.as_secs_f64() * 1e3);
+        }
+    }
     match format {
         Format::Json => println!("{}", report.render_json()),
         Format::Sarif => {

@@ -101,6 +101,30 @@ pub const RULES: &[Rule] = &[
         summary: "every TraceEvent variant emitted by the model crates must be \
                   explicitly handled by crates/analysis, not wildcard-swallowed",
     },
+    Rule {
+        id: "N1",
+        name: "nondeterminism-taint",
+        default_level: Level::Deny,
+        summary: "values derived from HashMap/HashSet iteration order, wall clocks, \
+                  thread identity or unseeded RNG must not flow (through assignments, \
+                  calls and returns) into export/trace sinks",
+    },
+    Rule {
+        id: "A1",
+        name: "alloc-in-hot-loop",
+        default_level: Level::Deny,
+        summary: "no Vec::new/Box::new/clone()/format!/collect() inside loops of \
+                  functions call-graph-reachable from the DES access, warp-replay \
+                  and ring-poll roots; hot-path churn is what the arena refactor removes",
+    },
+    Rule {
+        id: "G1",
+        name: "shard-safety",
+        default_level: Level::Deny,
+        summary: "state reachable from the event-loop path must be shardable: no \
+                  static mut/thread_local, no Rc/RefCell/Cell fields on hot types \
+                  (catalogued in the sharding-readiness report)",
+    },
 ];
 
 /// Looks a rule up by id.
@@ -258,32 +282,51 @@ pub fn has_forbid_unsafe(tokens: &[Token]) -> bool {
 
 /// Runs every token-level rule over one file, appending findings.
 ///
+/// Kept as a thin wrapper over the per-rule functions below so callers
+/// that do not care about `--timings` attribution keep a one-call API,
+/// while the engine can time each rule family separately.
+///
 /// S1 is workspace-shaped (it fires on a *missing* attribute in a crate
 /// root) and therefore lives in [`crate::engine`], not here.
 pub fn check_tokens(ctx: FileContext<'_>, lexed: &LexOutput, config: &Config, out: &mut Findings) {
-    let tokens = &lexed.tokens;
-    let mask = test_mask(tokens);
-    let in_tests_target = matches!(ctx.target, TargetKind::Tests | TargetKind::Bench);
+    let mask = test_mask(&lexed.tokens);
+    check_d1(ctx, lexed, &mask, config, out);
+    check_d2(ctx, lexed, config, out);
+    check_d3(ctx, lexed, &mask, config, out);
+    check_p1(ctx, lexed, &mask, config, out);
+    check_m1(ctx, lexed, config, out);
+}
 
-    // D1 — no wall clock in simulation crates' runtime code.
-    if D1_CRATES.contains(&ctx.crate_name)
-        && matches!(ctx.target, TargetKind::Lib | TargetKind::Bin)
+/// D1 — no wall clock in simulation crates' runtime code.
+pub fn check_d1(
+    ctx: FileContext<'_>,
+    lexed: &LexOutput,
+    mask: &[bool],
+    config: &Config,
+    out: &mut Findings,
+) {
+    let tokens = &lexed.tokens;
+    if !D1_CRATES.contains(&ctx.crate_name)
+        || !matches!(ctx.target, TargetKind::Lib | TargetKind::Bin)
     {
-        for (i, t) in tokens.iter().enumerate() {
-            if mask[i] || t.kind != TokKind::Ident {
-                continue;
-            }
-            if t.text == "Instant" || t.text == "SystemTime" {
-                out.push(ctx, config, "D1", t, format!(
-                    "wall-clock `{}` in virtual-time crate `{}`; simulation code must derive all timing from `gmt_sim::Time`",
-                    t.text, ctx.crate_name
-                ));
-            }
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant" || t.text == "SystemTime" {
+            out.push(ctx, config, "D1", t, format!(
+                "wall-clock `{}` in virtual-time crate `{}`; simulation code must derive all timing from `gmt_sim::Time`",
+                t.text, ctx.crate_name
+            ));
         }
     }
+}
 
-    // D2 — no unseeded randomness anywhere, test code included.
-    for t in tokens.iter() {
+/// D2 — no unseeded randomness anywhere, test code included.
+pub fn check_d2(ctx: FileContext<'_>, lexed: &LexOutput, config: &Config, out: &mut Findings) {
+    for t in lexed.tokens.iter() {
         if t.kind != TokKind::Ident {
             continue;
         }
@@ -294,62 +337,85 @@ pub fn check_tokens(ctx: FileContext<'_>, lexed: &LexOutput, config: &Config, ou
             ));
         }
     }
+}
 
-    // D3 — hash collections are banned in export paths.
+/// D3 — hash collections are banned in export paths.
+pub fn check_d3(
+    ctx: FileContext<'_>,
+    lexed: &LexOutput,
+    mask: &[bool],
+    config: &Config,
+    out: &mut Findings,
+) {
+    let tokens = &lexed.tokens;
+    let in_tests_target = matches!(ctx.target, TargetKind::Tests | TargetKind::Bench);
     let basename = ctx
         .rel_path
         .file_name()
         .map(|n| n.to_string_lossy().to_string())
         .unwrap_or_default();
     let named_export = D3_EXPORT_FILES.contains(&basename.as_str());
-    if named_export || is_serde_module(tokens) {
-        let scope = if named_export {
-            format!("export path `{basename}`")
-        } else {
-            "serde-deriving module".to_string()
-        };
-        for (i, t) in tokens.iter().enumerate() {
-            if mask[i] || in_tests_target || t.kind != TokKind::Ident {
-                continue;
-            }
-            if t.text == "HashMap" || t.text == "HashSet" {
-                let ordered = if t.text == "HashMap" {
-                    "BTreeMap"
-                } else {
-                    "BTreeSet"
-                };
-                out.push(ctx, config, "D3", t, format!(
-                    "`{}` in {scope}; iteration order is nondeterministic — use `{}` so serialized key order is stable",
-                    t.text, ordered
-                ));
-            }
-        }
+    if !named_export && !is_serde_module(tokens) {
+        return;
     }
-
-    // P1 — library code in core/sim/serve must not panic.
-    if P1_CRATES.contains(&ctx.crate_name) && ctx.target == TargetKind::Lib {
-        for (i, t) in tokens.iter().enumerate() {
-            if mask[i] || t.kind != TokKind::Ident {
-                continue;
-            }
-            let method_call = i > 0 && tokens[i - 1].is_punct('.');
-            let bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
-            let hit = match t.text.as_str() {
-                "unwrap" | "expect" => method_call,
-                "panic" | "todo" | "unimplemented" => bang,
-                _ => false,
+    let scope = if named_export {
+        format!("export path `{basename}`")
+    } else {
+        "serde-deriving module".to_string()
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || in_tests_target || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            let ordered = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
             };
-            if hit {
-                out.push(ctx, config, "P1", t, format!(
-                    "`{}` in `{}` library code; prefer a typed error (see `ConfigError`) or justify with a suppression",
-                    t.text, ctx.crate_name
-                ));
-            }
+            out.push(ctx, config, "D3", t, format!(
+                "`{}` in {scope}; iteration order is nondeterministic — use `{}` so serialized key order is stable",
+                t.text, ordered
+            ));
         }
     }
+}
 
-    // M1 — TieringMetrics fields must be conserved by merge().
-    check_metrics_conservation(ctx, tokens, config, out);
+/// P1 — library code in core/sim/serve must not panic.
+pub fn check_p1(
+    ctx: FileContext<'_>,
+    lexed: &LexOutput,
+    mask: &[bool],
+    config: &Config,
+    out: &mut Findings,
+) {
+    let tokens = &lexed.tokens;
+    if !P1_CRATES.contains(&ctx.crate_name) || ctx.target != TargetKind::Lib {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call = i > 0 && tokens[i - 1].is_punct('.');
+        let bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => method_call,
+            "panic" | "todo" | "unimplemented" => bang,
+            _ => false,
+        };
+        if hit {
+            out.push(ctx, config, "P1", t, format!(
+                "`{}` in `{}` library code; prefer a typed error (see `ConfigError`) or justify with a suppression",
+                t.text, ctx.crate_name
+            ));
+        }
+    }
+}
+
+/// M1 — TieringMetrics fields must be conserved by merge().
+pub fn check_m1(ctx: FileContext<'_>, lexed: &LexOutput, config: &Config, out: &mut Findings) {
+    check_metrics_conservation(ctx, &lexed.tokens, config, out);
 }
 
 /// The M1 cross-check: in any file defining `struct TieringMetrics`,
@@ -1223,12 +1289,15 @@ impl<'a> Findings<'a> {
             self.suppressed += 1;
             return false;
         }
+        let (end_line, end_col) = at.end_pos();
         self.findings.push(Finding {
             rule: rule_id,
             level,
             file: ctx.rel_path.to_path_buf(),
             line: at.line,
             col: at.col,
+            end_line,
+            end_col,
             message,
         });
         true

@@ -68,13 +68,16 @@ pub fn render_sarif(report: &Report) -> String {
             out,
             "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
              \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
-             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{},\
+             \"endLine\":{},\"endColumn\":{}}}}}}}]}}",
             json_str(f.rule),
             json_str(sarif_level(f.level)),
             json_str(&f.message),
             json_str(&uri),
             f.line,
             f.col,
+            f.end_line,
+            f.end_col,
         );
     }
     out.push_str("]}]}");
@@ -168,11 +171,18 @@ fn validate_result(result: &Json, ri: usize, i: usize) -> Result<(), String> {
             return Err(at("artifact uri uses backslashes"));
         }
         if let Some(region) = get(physical, "region").and_then(Json::as_object) {
-            for key in ["startLine", "startColumn"] {
+            for key in ["startLine", "startColumn", "endLine", "endColumn"] {
                 if let Some(n) = get(region, key).and_then(Json::as_num) {
                     if n < 1.0 {
                         return Err(at(&format!("region.{key} must be >= 1")));
                     }
+                }
+            }
+            let start = get(region, "startLine").and_then(Json::as_num);
+            let end = get(region, "endLine").and_then(Json::as_num);
+            if let (Some(s), Some(e)) = (start, end) {
+                if e < s {
+                    return Err(at("region.endLine precedes startLine"));
                 }
             }
         }
@@ -402,6 +412,8 @@ mod tests {
                 file: PathBuf::from("crates/sim/src/time.rs"),
                 line: 12,
                 col: 9,
+                end_line: 12,
+                end_col: 23,
                 message: "mixed dimensions: ns + bytes (say \"why\")".to_string(),
             }],
             suppressed: 1,
@@ -417,6 +429,8 @@ mod tests {
         assert!(sarif.contains("\"version\":\"2.1.0\""));
         assert!(sarif.contains("\"ruleId\":\"U1\""));
         assert!(sarif.contains("\"startLine\":12"));
+        assert!(sarif.contains("\"endLine\":12"));
+        assert!(sarif.contains("\"endColumn\":23"));
     }
 
     #[test]

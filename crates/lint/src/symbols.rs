@@ -147,6 +147,10 @@ pub struct FieldInfo {
     pub ty_dim: Dim,
     /// Token index of the field name in the defining file.
     pub name_tok: usize,
+    /// The field type's token texts, verbatim. The flow rules classify
+    /// these: `HashMap`/`HashSet` feed N1's iteration-order taint, and
+    /// `Rc`/`RefCell`/`Cell` feed G1's shard-safety inventory.
+    pub ty: Vec<String>,
 }
 
 /// One struct definition.
@@ -262,6 +266,7 @@ fn collect_item(syms: &mut Symbols, file_idx: usize, file: &AnalyzedFile, item: 
                         numeric: is_numeric_ty(&fd.ty),
                         ty_dim: dim_of_ty(&fd.ty),
                         name_tok: fd.name_tok,
+                        ty: fd.ty.clone(),
                     })
                     .collect(),
             };

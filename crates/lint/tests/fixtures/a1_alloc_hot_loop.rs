@@ -1,0 +1,16 @@
+//! Planted A1 violation: `access` is a per-event DES root, so its whole
+//! body runs once per simulated event — allocating a fresh `Vec` there
+//! is allocator churn on the hottest path.
+
+pub struct Cache {
+    pages: Vec<u64>,
+}
+
+impl Cache {
+    pub fn access(&mut self, page: u64) -> u64 {
+        let mut pending: Vec<u64> = Vec::new();
+        pending.push(page);
+        self.pages.push(page);
+        pending.len() as u64
+    }
+}

@@ -1,0 +1,9 @@
+//! Planted G1 violation: a `static mut` is process-global mutable state
+//! that no shard can own — the sharded DES (ROADMAP item 2) cannot
+//! partition it.
+
+static mut EVENT_SEQ: u64 = 0;
+
+pub fn next_seq() -> u64 {
+    0
+}

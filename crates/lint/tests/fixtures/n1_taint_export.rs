@@ -1,0 +1,19 @@
+//! Planted N1 violation: a value observed through `HashMap` iteration
+//! order flows straight into an export sink, so the exported bytes
+//! would differ from run to run.
+
+use std::collections::HashMap;
+
+pub struct Emitter;
+
+impl Emitter {
+    pub fn emit(&self, vt: u64, page: u64) {
+        let _ = (vt, page);
+    }
+}
+
+pub fn leak_iteration_order(emitter: &Emitter, m: HashMap<u64, u64>) {
+    for page in m.keys() {
+        emitter.emit(0, page);
+    }
+}

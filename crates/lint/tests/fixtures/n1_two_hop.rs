@@ -1,0 +1,29 @@
+//! Planted N1 violation, interprocedural: hash-iteration taint passes
+//! through TWO ordinary function calls (`relay` → `forward`) before it
+//! reaches the sink. The bottom-up summaries must carry `forward`'s
+//! sink-parameter bit into `relay`'s summary for the call site in
+//! `export_counts` to be flagged.
+
+use std::collections::HashMap;
+
+pub struct Sink;
+
+impl Sink {
+    pub fn to_jsonl(&self, row: u64) {
+        let _ = row;
+    }
+}
+
+fn relay(sink: &Sink, row: u64) {
+    forward(sink, row);
+}
+
+fn forward(sink: &Sink, row: u64) {
+    sink.to_jsonl(row);
+}
+
+pub fn export_counts(sink: &Sink, m: HashMap<u64, u64>) {
+    for key in m.keys() {
+        relay(sink, key);
+    }
+}

@@ -1,0 +1,16 @@
+//! The suppression twin of `a1_alloc_hot_loop.rs`: the same per-event
+//! allocation, silenced with an allow comment carrying a reason.
+
+pub struct Cache {
+    pages: Vec<u64>,
+}
+
+impl Cache {
+    pub fn access(&mut self, page: u64) -> u64 {
+        // gmt-lint: allow(A1): fixture demonstrating the suppression syntax.
+        let mut pending: Vec<u64> = Vec::new();
+        pending.push(page);
+        self.pages.push(page);
+        pending.len() as u64
+    }
+}

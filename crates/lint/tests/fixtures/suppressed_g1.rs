@@ -1,0 +1,9 @@
+//! The suppression twin of `g1_shared_state.rs`: the same global,
+//! silenced with an allow comment carrying a reason.
+
+// gmt-lint: allow(G1): fixture demonstrating the suppression syntax.
+static mut EVENT_SEQ: u64 = 0;
+
+pub fn next_seq() -> u64 {
+    0
+}

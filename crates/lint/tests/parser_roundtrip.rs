@@ -16,7 +16,11 @@ use gmt_lint::workspace::{find_root, workspace_files};
 fn every_workspace_file_round_trips_token_for_token() {
     let root = find_root(&std::env::current_dir().expect("cwd")).expect("workspace root");
     let files = workspace_files(&root, false).expect("workspace walk");
-    assert!(files.len() > 100, "suspiciously few files: {}", files.len());
+    assert!(
+        files.len() >= 140,
+        "suspiciously few files: {}",
+        files.len()
+    );
 
     let mut checked = 0usize;
     for sf in &files {
@@ -46,5 +50,5 @@ fn every_workspace_file_round_trips_token_for_token() {
         }
         checked += 1;
     }
-    assert!(checked > 100, "round-tripped only {checked} files");
+    assert!(checked >= 140, "round-tripped only {checked} files");
 }

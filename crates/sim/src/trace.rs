@@ -601,6 +601,7 @@ struct Ring {
 /// [`dropped`]: TraceSink::dropped
 #[derive(Clone, Default)]
 pub struct TraceSink {
+    // gmt-lint: allow(G1): the one sanctioned shared-mutable cell — every component appends to one ordered ring; ROADMAP item 2 (sharded DES) replaces it with per-shard sinks.
     inner: Option<Rc<RefCell<Ring>>>,
 }
 
