@@ -451,19 +451,44 @@ impl TenantTraceSummary {
 /// fill's `ready_ns` minus the record's wall time is exactly how long
 /// the faulting warp waited for its page.
 pub fn tenant_summaries(records: &[TraceRecord]) -> Vec<TenantTraceSummary> {
-    let mut by_tenant: std::collections::BTreeMap<u32, TenantTraceSummary> =
-        std::collections::BTreeMap::new();
+    let mut builder = TenantSummaryBuilder::new();
     for r in records {
+        builder.observe(r);
+    }
+    builder.finish()
+}
+
+/// Incremental form of [`tenant_summaries`]: feed records one at a time
+/// (e.g. straight out of a trace ring via `TraceSink::visit`) without
+/// ever materializing the whole trace as a contiguous slice.
+#[derive(Debug, Default)]
+pub struct TenantSummaryBuilder {
+    // Tenant ids are dense small integers assigned by the registry, so a
+    // flat table (grown on demand, `None` = never seen) replaces a map
+    // lookup per record with an indexed load.
+    by_tenant: Vec<Option<TenantTraceSummary>>,
+}
+
+impl TenantSummaryBuilder {
+    /// An empty builder.
+    pub fn new() -> TenantSummaryBuilder {
+        TenantSummaryBuilder::default()
+    }
+
+    /// Folds one record in. Records without a tenant stamp are skipped.
+    pub fn observe(&mut self, r: &TraceRecord) {
         let Some(tenant) = r.tenant else {
-            continue;
+            return;
         };
-        let summary = by_tenant
-            .entry(tenant)
-            .or_insert_with(|| TenantTraceSummary {
-                tenant,
-                counters: TraceCounters::default(),
-                miss_service_ns: Vec::new(),
-            });
+        let i = tenant as usize;
+        if i >= self.by_tenant.len() {
+            self.by_tenant.resize_with(i + 1, || None);
+        }
+        let summary = self.by_tenant[i].get_or_insert_with(|| TenantTraceSummary {
+            tenant,
+            counters: TraceCounters::default(),
+            miss_service_ns: Vec::new(),
+        });
         summary.counters.add(&r.event);
         if let TraceEvent::Tier1Fill { ready_ns, .. } = r.event {
             summary
@@ -471,11 +496,16 @@ pub fn tenant_summaries(records: &[TraceRecord]) -> Vec<TenantTraceSummary> {
                 .push(ready_ns.saturating_sub(r.at.as_nanos()));
         }
     }
-    let mut out: Vec<TenantTraceSummary> = by_tenant.into_values().collect();
-    for s in &mut out {
-        s.miss_service_ns.sort_unstable();
+
+    /// Sorts the latency samples and returns the summaries ordered by
+    /// tenant id.
+    pub fn finish(self) -> Vec<TenantTraceSummary> {
+        let mut out: Vec<TenantTraceSummary> = self.by_tenant.into_iter().flatten().collect();
+        for s in &mut out {
+            s.miss_service_ns.sort_unstable();
+        }
+        out
     }
-    out
 }
 
 /// Jain's fairness index `(Σx)² / (n · Σx²)` over per-tenant allocations.

@@ -1,0 +1,95 @@
+//! Regenerates `BENCH_hotpath.json` and gates CI on it.
+//!
+//! ```text
+//! hotpath [--quick] [--seed N] [--out PATH] [--baseline PATH]
+//!         [--check PATH] [--tolerance FRACTION]
+//! ```
+//!
+//! * `--out PATH` — write the rendered document (the repo commits
+//!   `BENCH_hotpath.json` at the root).
+//! * `--baseline PATH` — embed another run's scenario rows as the
+//!   `baseline` block and report per-scenario speedups (used once per
+//!   overhaul: measure before, embed after).
+//! * `--check PATH` — compare this run against a committed document and
+//!   exit non-zero if any scenario regresses beyond the tolerance
+//!   (default 20 %) or its event count drifts.
+
+use gmt_bench::hotpath::{
+    check_regression, parse_scenarios, render_json, run_suite, validate_schema, Mode,
+    DEFAULT_TOLERANCE,
+};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = if args.iter().any(|a| a == "--quick") {
+        Mode::Quick
+    } else {
+        Mode::Full
+    };
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let tolerance: f64 = arg_value(&args, "--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+
+    let results = run_suite(mode, seed);
+    println!("hotpath suite ({} mode, seed {seed}):", mode.name());
+    for r in &results {
+        println!(
+            "  {:<16} {:>12} events  {:>10.2} ms  {:>14.0} events/sec",
+            r.name,
+            r.events,
+            r.wall_ns as f64 / 1e6,
+            r.events_per_sec
+        );
+    }
+
+    let baseline_doc = arg_value(&args, "--baseline").map(|path| {
+        let doc = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        (path, doc)
+    });
+    let baseline_rows = baseline_doc.as_ref().map(|(path, doc)| {
+        // Label by file name only: the baseline often lives in a
+        // scratch directory that would be meaningless in the
+        // committed document.
+        let name = std::path::Path::new(path)
+            .file_name()
+            .map_or_else(|| path.clone(), |n| n.to_string_lossy().into_owned());
+        (format!("pre-overhaul ({name})"), parse_scenarios(doc))
+    });
+
+    if let Some(out) = arg_value(&args, "--out") {
+        let doc = render_json(
+            mode,
+            seed,
+            &results,
+            baseline_rows
+                .as_ref()
+                .map(|(label, rows)| (label.as_str(), rows.as_slice())),
+        );
+        validate_schema(&doc).expect("rendered document must validate");
+        std::fs::write(&out, &doc).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+    }
+
+    if let Some(path) = arg_value(&args, "--check") {
+        let committed = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading committed document {path}: {e}"));
+        validate_schema(&committed).expect("committed document must validate");
+        match check_regression(&results, &committed, tolerance) {
+            Ok(()) => println!("check against {path}: within tolerance"),
+            Err(report) => {
+                eprintln!("hotpath regression vs {path}:\n{report}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -30,6 +30,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod hotpath;
+
 use gmt_analysis::runner::{geometry_for, run_system, RunResult, SystemKind};
 use gmt_core::PolicyKind;
 use gmt_mem::TierGeometry;

@@ -1,0 +1,81 @@
+//! Regression tests for the committed bench harness itself: the quick
+//! suite must run, produce schema-valid JSON, and be event-deterministic
+//! across whole-suite runs — the property that makes `--check`'s
+//! event-count comparison meaningful.
+
+use gmt_bench::hotpath::{
+    check_regression, parse_scenarios, render_json, run_suite, validate_schema, CommittedScenario,
+    Mode, DEFAULT_TOLERANCE, SCHEMA,
+};
+
+#[test]
+fn quick_suite_runs_and_renders_valid_json() {
+    let results = run_suite(Mode::Quick, 7);
+    assert_eq!(results.len(), 7, "one row per scenario");
+    for r in &results {
+        assert!(r.events > 0, "{}: no events", r.name);
+        assert!(r.events_per_sec > 0.0, "{}: no rate", r.name);
+        assert_eq!(r.seed, 7);
+    }
+    let doc = render_json(Mode::Quick, 7, &results, None);
+    validate_schema(&doc).expect("fresh render must validate");
+    assert!(doc.contains(SCHEMA));
+    let rows = parse_scenarios(&doc);
+    assert_eq!(rows.len(), results.len());
+    for (row, r) in rows.iter().zip(&results) {
+        assert_eq!(row.name, r.name);
+        assert_eq!(row.events, r.events);
+    }
+}
+
+#[test]
+fn whole_suite_event_counts_are_deterministic_across_runs() {
+    let a = run_suite(Mode::Quick, 1);
+    let b = run_suite(Mode::Quick, 1);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(
+            x.events, y.events,
+            "{}: virtual event count must not depend on the run",
+            x.name
+        );
+    }
+    // And a fresh run passes the regression gate against its own render
+    // (wall-time jitter is absorbed by the tolerance; counts are exact).
+    let doc = render_json(Mode::Quick, 1, &a, None);
+    check_regression(&b, &doc, 0.75).expect("same-build run passes a loose gate");
+}
+
+#[test]
+fn different_seeds_change_events_but_not_the_schema() {
+    let a = run_suite(Mode::Quick, 1);
+    let b = run_suite(Mode::Quick, 2);
+    // Seeded scenarios must actually respond to the seed somewhere
+    // (arrival jitter, zipf draws); scan-only scenarios may tie.
+    assert!(
+        a.iter().zip(&b).any(|(x, y)| x.events != y.events),
+        "seed must reach the workloads"
+    );
+    let doc = render_json(Mode::Quick, 2, &b, None);
+    validate_schema(&doc).expect("seed-2 render validates");
+}
+
+#[test]
+fn baseline_block_embeds_speedups() {
+    let results = run_suite(Mode::Quick, 1);
+    let base: Vec<CommittedScenario> = results
+        .iter()
+        .map(|r| CommittedScenario {
+            name: r.name.into(),
+            events: r.events,
+            events_per_sec: r.events_per_sec / 2.0,
+        })
+        .collect();
+    let doc = render_json(Mode::Quick, 1, &results, Some(("pre-overhaul", &base)));
+    validate_schema(&doc).expect("render with baseline validates");
+    assert!(doc.contains("\"speedup_vs_baseline\""));
+    assert!(doc.contains("\"x\": 2.00"), "{doc}");
+    // The baseline block must not be parsed as current rows.
+    assert_eq!(parse_scenarios(&doc).len(), results.len());
+    check_regression(&results, &doc, DEFAULT_TOLERANCE).expect("self-comparison passes");
+}

@@ -6,11 +6,21 @@
 //! for the `ablate_tier2` study. Tiers are exclusive, so pages leave via
 //! [`Tier2Cache::remove`] when promoted back to Tier-1.
 
-use std::collections::HashMap;
-
 use gmt_mem::{ClockList, FifoCache, PageId};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Sentinel in the dense slot table marking a non-resident page.
+const ABSENT: u32 = u32::MAX;
+
+/// Grows the dense slot table on demand and records `page`'s slot.
+fn set_slot(index: &mut Vec<u32>, page: PageId, slot: u32) {
+    let i = page.0 as usize;
+    if i >= index.len() {
+        index.resize(i + 1, ABSENT);
+    }
+    index[i] = slot;
+}
 
 /// Tier-2 resident-set structure with a selectable eviction policy.
 #[derive(Debug)]
@@ -25,8 +35,10 @@ pub(crate) enum Tier2Cache {
     Random {
         /// Dense storage of resident pages.
         resident: Vec<PageId>,
-        /// Page → index into `resident`.
-        index: HashMap<PageId, usize>,
+        /// Page → slot in `resident`, as a dense grow-on-demand table
+        /// (`u32::MAX` = absent). Page ids are dense from zero, so this
+        /// replaces a hash probe with one indexed load.
+        index: Vec<u32>,
         /// Capacity in pages.
         capacity: usize,
         /// Victim-selection randomness.
@@ -47,7 +59,7 @@ impl Tier2Cache {
         assert!(capacity > 0, "tier-2 capacity must be positive");
         Tier2Cache::Random {
             resident: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: Vec::new(),
             capacity,
             rng: gmt_sim::rng::seeded(seed),
         }
@@ -75,7 +87,9 @@ impl Tier2Cache {
         match self {
             Tier2Cache::Fifo(c) => c.contains(page),
             Tier2Cache::Clock(c) => c.contains(page),
-            Tier2Cache::Random { index, .. } => index.contains_key(&page),
+            Tier2Cache::Random { index, .. } => {
+                index.get(page.0 as usize).copied().unwrap_or(ABSENT) != ABSENT
+            }
         }
     }
 
@@ -102,18 +116,18 @@ impl Tier2Cache {
                 rng,
             } => {
                 assert!(
-                    !index.contains_key(&page),
+                    index.get(page.0 as usize).copied().unwrap_or(ABSENT) == ABSENT,
                     "page {page} already resident in tier-2"
                 );
                 if resident.len() == *capacity {
                     let slot = rng.gen_range(0..resident.len());
                     let victim = resident[slot];
-                    index.remove(&victim);
+                    index[victim.0 as usize] = ABSENT;
                     resident[slot] = page;
-                    index.insert(page, slot);
+                    set_slot(index, page, slot as u32);
                     Some(victim)
                 } else {
-                    index.insert(page, resident.len());
+                    set_slot(index, page, resident.len() as u32);
                     resident.push(page);
                     None
                 }
@@ -146,17 +160,19 @@ impl Tier2Cache {
             Tier2Cache::Clock(c) => c.remove(page),
             Tier2Cache::Random {
                 resident, index, ..
-            } => match index.remove(&page) {
-                Some(slot) => {
+            } => match index.get(page.0 as usize).copied() {
+                Some(slot) if slot != ABSENT => {
+                    let slot = slot as usize;
+                    index[page.0 as usize] = ABSENT;
                     let last = resident.len() - 1;
                     resident.swap(slot, last);
                     resident.pop();
                     if slot < resident.len() {
-                        index.insert(resident[slot], slot);
+                        index[resident[slot].0 as usize] = slot as u32;
                     }
                     true
                 }
-                None => false,
+                _ => false,
             },
         }
     }
@@ -210,6 +226,76 @@ mod tests {
             assert!(!cache.remove(PageId(0)));
             assert!(cache.insert_if_room(PageId(2)));
             assert!(cache.contains(PageId(2)));
+        }
+    }
+
+    /// Differential check of the dense-handle `Random` variant against a
+    /// straightforward HashMap model driven by the identical RNG: every
+    /// insert/remove decision (victims included) must coincide.
+    #[test]
+    fn random_variant_matches_hashmap_reference() {
+        use rand::Rng;
+        struct Reference {
+            resident: Vec<PageId>,
+            index: std::collections::HashMap<PageId, usize>,
+            capacity: usize,
+            rng: rand::rngs::StdRng,
+        }
+        impl Reference {
+            fn insert_evicting(&mut self, page: PageId) -> Option<PageId> {
+                assert!(!self.index.contains_key(&page));
+                if self.resident.len() == self.capacity {
+                    let slot = self.rng.gen_range(0..self.resident.len());
+                    let victim = self.resident[slot];
+                    self.index.remove(&victim);
+                    self.resident[slot] = page;
+                    self.index.insert(page, slot);
+                    Some(victim)
+                } else {
+                    self.index.insert(page, self.resident.len());
+                    self.resident.push(page);
+                    None
+                }
+            }
+            fn remove(&mut self, page: PageId) -> bool {
+                match self.index.remove(&page) {
+                    Some(slot) => {
+                        let last = self.resident.len() - 1;
+                        self.resident.swap(slot, last);
+                        self.resident.pop();
+                        if slot < self.resident.len() {
+                            self.index.insert(self.resident[slot], slot);
+                        }
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+
+        for seed in [3u64, 17, 4242] {
+            let mut dense = Tier2Cache::random(16, seed);
+            let mut model = Reference {
+                resident: Vec::new(),
+                index: std::collections::HashMap::new(),
+                capacity: 16,
+                rng: gmt_sim::rng::seeded(seed),
+            };
+            let mut driver = gmt_sim::rng::seeded(seed ^ 0x5EED);
+            for step in 0..4_000u64 {
+                let page = PageId(driver.gen_range(0..64));
+                if driver.gen_bool(0.3) {
+                    assert_eq!(dense.remove(page), model.remove(page), "step {step}");
+                } else if !dense.contains(page) {
+                    assert!(!model.index.contains_key(&page), "step {step}");
+                    assert_eq!(
+                        dense.insert_evicting(page),
+                        model.insert_evicting(page),
+                        "step {step}"
+                    );
+                }
+                assert_eq!(dense.len(), model.resident.len(), "step {step}");
+            }
         }
     }
 

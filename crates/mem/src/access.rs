@@ -60,6 +60,21 @@ impl PageSet {
     pub fn first(&self) -> PageId {
         self.iter().next().expect("page set is empty")
     }
+
+    /// Shifts every page id by `offset` in place (no reallocation).
+    ///
+    /// Multi-tenant runtimes use this to relocate a tenant's trace into
+    /// its global page range without rebuilding every access.
+    pub fn relocate(&mut self, offset: u64) {
+        match self {
+            PageSet::One(p) => p.0 += offset,
+            PageSet::Many(pages) => {
+                for p in pages.iter_mut() {
+                    p.0 += offset;
+                }
+            }
+        }
+    }
 }
 
 impl From<PageId> for PageSet {
@@ -127,6 +142,11 @@ impl WarpAccess {
             write,
         }
     }
+
+    /// Shifts every touched page by `offset` in place.
+    pub fn relocate(&mut self, offset: u64) {
+        self.pages.relocate(offset);
+    }
 }
 
 impl fmt::Display for WarpAccess {
@@ -168,6 +188,17 @@ mod tests {
         let s = WarpAccess::scattered(vec![PageId(1), PageId(2)], true);
         assert!(!r.write && w.write && s.write);
         assert_eq!(s.pages.len(), 2);
+    }
+
+    #[test]
+    fn relocate_shifts_every_variant() {
+        let mut one = WarpAccess::read(PageId(3));
+        one.relocate(100);
+        assert_eq!(one.pages.first(), PageId(103));
+        let mut many = WarpAccess::scattered(vec![PageId(1), PageId(2)], true);
+        many.relocate(10);
+        let v: Vec<_> = many.pages.iter().collect();
+        assert_eq!(v, vec![PageId(11), PageId(12)]);
     }
 
     #[test]

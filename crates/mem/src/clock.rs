@@ -8,9 +8,10 @@
 //! §2.1.3), so [`ClockList`] exposes the candidate explicitly instead of
 //! only offering an atomic evict.
 
-use std::collections::HashMap;
-
 use crate::PageId;
+
+/// Sentinel in the dense handle table marking a non-resident page.
+const ABSENT: u32 = u32::MAX;
 
 #[derive(Debug, Clone)]
 struct Slot {
@@ -37,10 +38,16 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct ClockList {
     slots: Vec<Option<Slot>>,
-    index: HashMap<PageId, usize>,
+    /// Dense page-handle table: `index[page] == ABSENT` means not
+    /// resident, anything else is the slot holding the page. Page ids
+    /// are dense from zero in every workload, so the table grows on
+    /// demand and lookups are a single indexed load — no hashing on the
+    /// touch/insert/evict hot path.
+    index: Vec<u32>,
     free: Vec<usize>,
     hand: usize,
     capacity: usize,
+    len: usize,
 }
 
 impl ClockList {
@@ -53,10 +60,11 @@ impl ClockList {
         assert!(capacity > 0, "clock capacity must be positive");
         ClockList {
             slots: Vec::with_capacity(capacity),
-            index: HashMap::with_capacity(capacity),
+            index: Vec::new(),
             free: Vec::new(),
             hand: 0,
             capacity,
+            len: 0,
         }
     }
 
@@ -67,12 +75,12 @@ impl ClockList {
 
     /// Current number of resident pages.
     pub fn len(&self) -> usize {
-        self.index.len()
+        self.len
     }
 
     /// Whether no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.index.is_empty()
+        self.len == 0
     }
 
     /// Whether the list is at capacity.
@@ -82,15 +90,30 @@ impl ClockList {
 
     /// Whether `page` is resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.index.contains_key(&page)
+        self.slot_of(page).is_some()
+    }
+
+    fn slot_of(&self, page: PageId) -> Option<usize> {
+        match self.index.get(page.0 as usize) {
+            Some(&s) if s != ABSENT => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    fn set_slot(&mut self, page: PageId, slot: u32) {
+        let i = page.0 as usize;
+        if i >= self.index.len() {
+            self.index.resize(i + 1, ABSENT);
+        }
+        self.index[i] = slot;
     }
 
     /// Sets the reference bit of `page` (call on every Tier-1 hit).
     ///
     /// Returns `false` if the page is not resident.
     pub fn touch(&mut self, page: PageId) -> bool {
-        match self.index.get(&page) {
-            Some(&i) => {
+        match self.slot_of(page) {
+            Some(i) => {
                 self.slots[i]
                     .as_mut()
                     .expect("indexed slot is occupied")
@@ -123,7 +146,8 @@ impl ClockList {
                 self.slots.len() - 1
             }
         };
-        self.index.insert(page, i);
+        self.set_slot(page, i as u32);
+        self.len += 1;
     }
 
     /// Sweeps the hand to the next page with a clear reference bit and
@@ -162,7 +186,7 @@ impl ClockList {
     /// Panics if the list is empty.
     pub fn skip_candidate(&mut self) {
         let page = self.candidate().expect("skip_candidate on empty clock");
-        let i = self.index[&page];
+        let i = self.slot_of(page).expect("candidate is indexed");
         self.slots[i]
             .as_mut()
             .expect("indexed slot is occupied")
@@ -179,12 +203,13 @@ impl ClockList {
     pub fn replace_candidate(&mut self, new: PageId) -> PageId {
         assert!(!self.contains(new), "page {new} already resident");
         let victim = self.candidate().expect("replace_candidate on empty clock");
-        let i = self.index.remove(&victim).expect("candidate is indexed");
+        let i = self.slot_of(victim).expect("candidate is indexed");
+        self.index[victim.0 as usize] = ABSENT;
         self.slots[i] = Some(Slot {
             page: new,
             referenced: true,
         });
-        self.index.insert(new, i);
+        self.set_slot(new, i as u32);
         self.hand = i + 1;
         victim
     }
@@ -196,9 +221,11 @@ impl ClockList {
     /// Panics if the list is empty.
     pub fn evict_candidate(&mut self) -> PageId {
         let victim = self.candidate().expect("evict_candidate on empty clock");
-        let i = self.index.remove(&victim).expect("candidate is indexed");
+        let i = self.slot_of(victim).expect("candidate is indexed");
+        self.index[victim.0 as usize] = ABSENT;
         self.slots[i] = None;
         self.free.push(i);
+        self.len -= 1;
         self.hand = i + 1;
         victim
     }
@@ -206,10 +233,12 @@ impl ClockList {
     /// Removes `page` regardless of hand position; returns whether it was
     /// resident.
     pub fn remove(&mut self, page: PageId) -> bool {
-        match self.index.remove(&page) {
+        match self.slot_of(page) {
             Some(i) => {
+                self.index[page.0 as usize] = ABSENT;
                 self.slots[i] = None;
                 self.free.push(i);
+                self.len -= 1;
                 true
             }
             None => false,

@@ -7,7 +7,7 @@
 //! are provided: [`FifoCache::insert_evicting`] and
 //! [`FifoCache::insert_if_room`].
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 use crate::PageId;
 
@@ -29,7 +29,11 @@ use crate::PageId;
 #[derive(Debug, Clone)]
 pub struct FifoCache {
     queue: VecDeque<PageId>,
-    resident: HashSet<PageId>,
+    /// Dense residency bitmap keyed by page id (ids are dense from zero
+    /// in every workload); grows on demand. A single indexed load on the
+    /// contains/insert/remove hot path instead of a hash probe.
+    resident: Vec<bool>,
+    len: usize,
     capacity: usize,
 }
 
@@ -43,7 +47,8 @@ impl FifoCache {
         assert!(capacity > 0, "fifo capacity must be positive");
         FifoCache {
             queue: VecDeque::with_capacity(capacity + 1),
-            resident: HashSet::with_capacity(capacity),
+            resident: Vec::new(),
+            len: 0,
             capacity,
         }
     }
@@ -55,12 +60,12 @@ impl FifoCache {
 
     /// Current number of resident pages.
     pub fn len(&self) -> usize {
-        self.resident.len()
+        self.len
     }
 
     /// Whether no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.resident.is_empty()
+        self.len == 0
     }
 
     /// Whether the cache is at capacity.
@@ -70,7 +75,28 @@ impl FifoCache {
 
     /// Whether `page` is resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.resident.contains(&page)
+        self.resident.get(page.0 as usize).copied().unwrap_or(false)
+    }
+
+    fn mark(&mut self, page: PageId) {
+        let i = page.0 as usize;
+        if i >= self.resident.len() {
+            self.resident.resize(i + 1, false);
+        }
+        self.resident[i] = true;
+        self.len += 1;
+    }
+
+    /// Clears `page`'s residency bit; returns whether it was set.
+    fn unmark(&mut self, page: PageId) -> bool {
+        match self.resident.get_mut(page.0 as usize) {
+            Some(r) if *r => {
+                *r = false;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Inserts `page`, evicting the oldest resident page if full.
@@ -90,7 +116,7 @@ impl FifoCache {
         } else {
             None
         };
-        self.resident.insert(page);
+        self.mark(page);
         self.queue.push_back(page);
         victim
     }
@@ -109,7 +135,7 @@ impl FifoCache {
         if self.is_full() {
             return false;
         }
-        self.resident.insert(page);
+        self.mark(page);
         self.queue.push_back(page);
         true
     }
@@ -117,16 +143,20 @@ impl FifoCache {
     /// Removes `page` (promotion to Tier-1); returns whether it was
     /// resident.
     pub fn remove(&mut self, page: PageId) -> bool {
-        let was_resident = self.resident.remove(&page);
+        let was_resident = self.unmark(page);
         if was_resident {
             self.compact_if_bloated();
         }
         was_resident
     }
 
-    /// Iterates over resident pages in arbitrary order.
+    /// Iterates over resident pages in ascending page-id order.
     pub fn iter(&self) -> impl Iterator<Item = PageId> + '_ {
-        self.resident.iter().copied()
+        self.resident
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r)
+            .map(|(i, _)| PageId(i as u64))
     }
 
     fn pop_oldest(&mut self) -> PageId {
@@ -135,7 +165,7 @@ impl FifoCache {
                 .queue
                 .pop_front()
                 .expect("full cache has queue entries");
-            if self.resident.remove(&head) {
+            if self.unmark(head) {
                 return head;
             }
             // Stale entry for a page that was promoted; skip it.
@@ -146,7 +176,8 @@ impl FifoCache {
         // Keep the queue's stale fraction bounded so memory stays O(capacity).
         if self.queue.len() > 2 * self.capacity + 16 {
             let resident = &self.resident;
-            self.queue.retain(|p| resident.contains(p));
+            self.queue
+                .retain(|p| resident.get(p.0 as usize).copied().unwrap_or(false));
         }
     }
 }

@@ -5,11 +5,13 @@
 //! algorithm). The classic structure is a balanced tree over access
 //! positions holding one mark per *currently most recent* page position;
 //! the number of marks after a page's previous position is exactly the
-//! number of distinct pages touched since — its reuse distance. We use a
-//! Fenwick (binary-indexed) tree, which supports both operations in
-//! `O(log n)`.
-
-use std::collections::HashMap;
+//! the number of distinct pages touched since — its reuse distance. The
+//! marks live in a flat bitset (one bit per access position) and a
+//! Fenwick (binary-indexed) tree runs over *64-position blocks* of that
+//! bitset: a prefix count is a Fenwick prefix over whole blocks plus one
+//! masked popcount, and set/clear touch `O(log(n/64))` block counters.
+//! Compared to a Fenwick over raw positions this shrinks the tree (and
+//! its cache footprint) 64x while producing bit-identical distances.
 
 use gmt_mem::PageId;
 
@@ -44,17 +46,13 @@ pub struct AccessDistances {
     pub vtd: Distance,
 }
 
-/// Growable Fenwick tree over access positions.
+/// Growable Fenwick tree over 64-position block popcounts.
 #[derive(Debug, Clone, Default)]
 struct Fenwick {
     tree: Vec<u32>,
 }
 
 impl Fenwick {
-    fn len(&self) -> usize {
-        self.tree.len()
-    }
-
     /// Extends the tree with a zero entry at position `len+1` (1-based).
     fn grow(&mut self) {
         // Appending to a Fenwick tree: new node at index i (1-based)
@@ -111,9 +109,44 @@ impl Fenwick {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct ReuseTracker {
-    fenwick: Fenwick,
-    last_pos: HashMap<PageId, usize>,
+    /// One mark bit per 1-based access position (bit `pos - 1`): set iff
+    /// that position is the *most recent* access of some page.
+    bits: Vec<u64>,
+    /// Fenwick over the popcount of each 64-bit block of `bits`.
+    blocks: Fenwick,
+    /// Most recent 1-based position per page (0 = never seen); dense
+    /// grow-on-demand table — page ids are dense from zero.
+    last_pos: Vec<usize>,
+    /// Number of distinct pages seen (non-zero `last_pos` entries).
+    distinct: usize,
     position: usize,
+}
+
+impl ReuseTracker {
+    /// Marks set in positions `1..=i`: whole blocks via the Fenwick,
+    /// the straddling block via one masked popcount.
+    fn prefix(&self, i: usize) -> u32 {
+        let full = i / 64;
+        let rem = i % 64;
+        let mut sum = self.blocks.prefix(full);
+        if rem != 0 {
+            sum += (self.bits[full] & ((1u64 << rem) - 1)).count_ones();
+        }
+        sum
+    }
+
+    fn set_mark(&mut self, pos: usize) {
+        let i = pos - 1;
+        self.bits[i / 64] |= 1u64 << (i % 64);
+        self.blocks.add(i / 64 + 1, 1);
+    }
+
+    fn clear_mark(&mut self, pos: usize) {
+        let i = pos - 1;
+        debug_assert!(self.bits[i / 64] & (1u64 << (i % 64)) != 0);
+        self.bits[i / 64] &= !(1u64 << (i % 64));
+        self.blocks.add(i / 64 + 1, -1);
+    }
 }
 
 impl ReuseTracker {
@@ -129,7 +162,7 @@ impl ReuseTracker {
 
     /// Number of distinct pages seen so far.
     pub fn distinct_pages(&self) -> usize {
-        self.last_pos.len()
+        self.distinct
     }
 
     /// The current stream position (1-based index of the last access).
@@ -162,33 +195,41 @@ impl ReuseTracker {
         let now = self.position;
         let pos = pos as usize;
         debug_assert!(pos <= now);
-        (self.fenwick.prefix(now) - self.fenwick.prefix(pos.min(now))) as u64
+        (self.prefix(now) - self.prefix(pos.min(now))) as u64
     }
 
     /// Records an access to `page`, returning its reuse distances.
     pub fn record(&mut self, page: PageId) -> AccessDistances {
         self.position += 1;
         let pos = self.position; // 1-based
-        self.fenwick.grow();
-        debug_assert_eq!(self.fenwick.len(), pos);
-        let distances = match self.last_pos.get(&page).copied() {
-            Some(prev) => {
-                // Marks strictly after prev (and before pos) = distinct
-                // pages accessed since.
-                let rd = self.fenwick.prefix(pos - 1) - self.fenwick.prefix(prev);
-                self.fenwick.add(prev, -1);
-                AccessDistances {
-                    rd: Distance::Finite(rd as u64),
-                    vtd: Distance::Finite((pos - prev - 1) as u64),
-                }
+        if (pos - 1) / 64 == self.bits.len() {
+            // A new 64-position block comes into range.
+            self.bits.push(0);
+            self.blocks.grow();
+        }
+        let idx = page.0 as usize;
+        if idx >= self.last_pos.len() {
+            self.last_pos.resize(idx + 1, 0);
+        }
+        let prev = self.last_pos[idx];
+        let distances = if prev != 0 {
+            // Marks strictly after prev (and before pos) = distinct
+            // pages accessed since.
+            let rd = self.prefix(pos - 1) - self.prefix(prev);
+            self.clear_mark(prev);
+            AccessDistances {
+                rd: Distance::Finite(rd as u64),
+                vtd: Distance::Finite((pos - prev - 1) as u64),
             }
-            None => AccessDistances {
+        } else {
+            self.distinct += 1;
+            AccessDistances {
                 rd: Distance::Cold,
                 vtd: Distance::Cold,
-            },
+            }
         };
-        self.fenwick.add(pos, 1);
-        self.last_pos.insert(page, pos);
+        self.set_mark(pos);
+        self.last_pos[idx] = pos;
         distances
     }
 }

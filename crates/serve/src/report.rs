@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use gmt_analysis::tracesum::{jain_fairness, tenant_summaries};
+use gmt_analysis::tracesum::{jain_fairness, tenant_summaries, TenantTraceSummary};
 use gmt_core::TieringMetrics;
 use gmt_sim::trace::TraceRecord;
 
@@ -66,12 +66,23 @@ impl ServeReport {
         records: &[TraceRecord],
         per_tenant: &[TieringMetrics],
     ) -> ServeReport {
+        ServeReport::from_summaries(policy, names, &tenant_summaries(records), per_tenant)
+    }
+
+    /// Like [`ServeReport::from_trace`], but from already-distilled
+    /// summaries — lets callers fold records straight out of a trace
+    /// ring (`TenantSummaryBuilder`) without materializing the trace.
+    pub fn from_summaries(
+        policy: PartitionPolicy,
+        names: &[String],
+        summaries: &[TenantTraceSummary],
+        per_tenant: &[TieringMetrics],
+    ) -> ServeReport {
         assert_eq!(
             names.len(),
             per_tenant.len(),
             "one metrics entry per tenant name"
         );
-        let summaries = tenant_summaries(records);
         let tenants: Vec<TenantReport> = names
             .iter()
             .enumerate()

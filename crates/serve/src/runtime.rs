@@ -2,6 +2,7 @@
 
 use std::collections::VecDeque;
 
+use gmt_analysis::tracesum::TenantSummaryBuilder;
 use gmt_core::{GmtConfig, PredictorKind, TieringMetrics};
 use gmt_gpu::{Executor, ExecutorConfig, MemoryBackend, RunOutcome};
 use gmt_mem::{ClockList, FifoCache, PageId, PageTable, Tier, WarpAccess};
@@ -389,15 +390,11 @@ impl TieredService {
             let times = spec
                 .arrival
                 .times(trace.len(), gmt_sim::rng::derive(spec.seed, 0x4152_5256));
-            for (seq, (at, access)) in times.into_iter().zip(trace).enumerate() {
-                // gmt-lint: allow(A1): schedule construction runs once at setup, not per event.
-                let pages: Vec<PageId> = access.pages.iter().map(|p| PageId(p.0 + base)).collect();
-                merged.push((
-                    at,
-                    i as u32,
-                    seq,
-                    WarpAccess::scattered(pages, access.write),
-                ));
+            for (seq, (at, mut access)) in times.into_iter().zip(trace).enumerate() {
+                // Relocation mutates the owned trace in place: no
+                // per-access page-vector rebuild.
+                access.relocate(base);
+                merged.push((at, i as u32, seq, access));
             }
         }
         merged.sort_by_key(|(at, tenant, seq, _)| (at.as_nanos(), *tenant, *seq));
@@ -429,7 +426,12 @@ impl TieredService {
         let per_tenant: Vec<TieringMetrics> = service.tenants.iter().map(|t| t.metrics).collect();
         let aggregate = service.aggregate_metrics();
         let names: Vec<String> = service.tenants.iter().map(|t| t.name.clone()).collect();
-        let report = ServeReport::from_trace(policy, &names, &sink.snapshot(), &per_tenant);
+        // Fold the trace straight out of the ring: a full run buffers
+        // millions of records, and materializing them as one Vec only to
+        // summarize and drop them costs more than the summary itself.
+        let mut builder = TenantSummaryBuilder::new();
+        sink.visit(|r| builder.observe(r));
+        let report = ServeReport::from_summaries(policy, &names, &builder.finish(), &per_tenant);
         ServeOutcome {
             elapsed: out.elapsed,
             accesses: out.accesses,

@@ -579,13 +579,85 @@ pub fn to_csv(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Records per arena chunk: large enough to amortize allocation, small
+/// enough that a chunk's byte size stays under the allocator's mmap
+/// threshold (glibc: 128 KiB) — so freed chunks return to ordinary heap
+/// bins and get reused across runs instead of being mapped and faulted
+/// fresh every time.
+const CHUNK: usize = 1024;
+
+/// Chunked arena ring: records append into fixed-size chunks, so growth
+/// never copies existing records (a `VecDeque` doubling would) and a
+/// fully-consumed chunk is recycled through `free` instead of returning
+/// to the allocator.
 struct Ring {
-    records: VecDeque<TraceRecord>,
+    chunks: VecDeque<Vec<TraceRecord>>,
+    /// Index of the first live record in the front chunk.
+    head: usize,
+    /// Live records across all chunks.
+    len: usize,
+    /// Spare chunks recycled from overflow pops and drains.
+    free: Vec<Vec<TraceRecord>>,
     capacity: usize,
     dropped: u64,
     vt: u64,
     tenant: Option<u32>,
     last_at: Time,
+}
+
+impl Ring {
+    #[inline]
+    fn push(&mut self, record: TraceRecord) {
+        match self.chunks.back_mut() {
+            Some(chunk) if chunk.len() < CHUNK => chunk.push(record),
+            _ => {
+                let mut chunk = self.free.pop().unwrap_or_else(|| Vec::with_capacity(CHUNK));
+                chunk.push(record);
+                self.chunks.push_back(chunk);
+            }
+        }
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0);
+        self.head += 1;
+        self.len -= 1;
+        if self.head == CHUNK {
+            // Chunks fill to exactly CHUNK before a new one starts, so a
+            // head at CHUNK means the front chunk is fully consumed.
+            // gmt-lint: allow(P1): len > 0 (debug-asserted) means a front chunk exists.
+            let mut chunk = self.chunks.pop_front().expect("front chunk exists");
+            chunk.clear();
+            self.free.push(chunk);
+            self.head = 0;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceRecord> {
+        let mut out = Vec::with_capacity(self.len);
+        let head = self.head;
+        for (i, chunk) in self.chunks.iter_mut().enumerate() {
+            let start = if i == 0 { head.min(chunk.len()) } else { 0 };
+            out.extend(chunk.drain(start..));
+            chunk.clear();
+        }
+        self.free.extend(self.chunks.drain(..));
+        self.head = 0;
+        self.len = 0;
+        out
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.chunks.iter().enumerate().flat_map(move |(i, chunk)| {
+            let start = if i == 0 {
+                self.head.min(chunk.len())
+            } else {
+                0
+            };
+            chunk[start..].iter()
+        })
+    }
 }
 
 /// A cheaply cloneable handle to a bounded trace ring buffer.
@@ -614,9 +686,7 @@ impl fmt::Debug for TraceSink {
                 write!(
                     f,
                     "TraceSink(len={}, cap={}, dropped={})",
-                    ring.records.len(),
-                    ring.capacity,
-                    ring.dropped
+                    ring.len, ring.capacity, ring.dropped
                 )
             }
         }
@@ -638,7 +708,10 @@ impl TraceSink {
         assert!(capacity > 0, "trace ring capacity must be non-zero");
         TraceSink {
             inner: Some(Rc::new(RefCell::new(Ring {
-                records: VecDeque::with_capacity(capacity.min(4096)),
+                chunks: VecDeque::new(),
+                head: 0,
+                len: 0,
+                free: Vec::new(),
                 capacity,
                 dropped: 0,
                 vt: 0,
@@ -656,6 +729,7 @@ impl TraceSink {
     /// Updates the virtual-timestamp counter stamped onto subsequent
     /// records. The owning runtime calls this once per coalesced memory
     /// transaction.
+    #[inline]
     pub fn set_vt(&self, vt: u64) {
         if let Some(ring) = &self.inner {
             ring.borrow_mut().vt = vt;
@@ -692,18 +766,19 @@ impl TraceSink {
     /// flight). The sink clamps each record's clock to be monotone, which
     /// keeps the exported trace time-ordered while preserving decision
     /// order exactly.
+    #[inline]
     pub fn emit(&self, at: Time, event: TraceEvent) {
         let Some(ring) = &self.inner else { return };
         let mut ring = ring.borrow_mut();
-        if ring.records.len() == ring.capacity {
-            ring.records.pop_front();
+        if ring.len == ring.capacity {
+            ring.pop_front();
             ring.dropped += 1;
         }
         let at = at.max(ring.last_at);
         ring.last_at = at;
         let vt = ring.vt;
         let tenant = ring.tenant;
-        ring.records.push_back(TraceRecord {
+        ring.push(TraceRecord {
             at,
             vt,
             tenant,
@@ -713,7 +788,7 @@ impl TraceSink {
 
     /// Number of records currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.as_ref().map_or(0, |r| r.borrow().records.len())
+        self.inner.as_ref().map_or(0, |r| r.borrow().len)
     }
 
     /// Whether the buffer holds no records.
@@ -730,14 +805,25 @@ impl TraceSink {
     pub fn drain(&self) -> Vec<TraceRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |r| r.borrow_mut().records.drain(..).collect())
+            .map_or_else(Vec::new, |r| r.borrow_mut().drain())
+    }
+
+    /// Calls `f` on every buffered record, oldest first, without
+    /// copying or clearing — the zero-allocation way to fold a large
+    /// trace into a summary.
+    pub fn visit(&self, mut f: impl FnMut(&TraceRecord)) {
+        if let Some(ring) = &self.inner {
+            for r in ring.borrow().iter() {
+                f(r);
+            }
+        }
     }
 
     /// Returns a copy of the buffered records without clearing them.
     pub fn snapshot(&self) -> Vec<TraceRecord> {
         self.inner
             .as_ref()
-            .map_or_else(Vec::new, |r| r.borrow().records.iter().cloned().collect())
+            .map_or_else(Vec::new, |r| r.borrow().iter().cloned().collect())
     }
 }
 

@@ -1,0 +1,130 @@
+//! Differential property tests: the hierarchical timing wheel
+//! ([`gmt_sim::events::EventQueue`]) against the retained binary-heap
+//! reference ([`gmt_sim::events::reference::HeapQueue`]).
+//!
+//! The heap is the executable spec: any random interleaving of
+//! schedule / cancel / pop must produce *identical* `EventId`s,
+//! identical lengths, and identical `(time, payload)` pop sequences —
+//! including the FIFO order of events scheduled at the same instant.
+
+use gmt_sim::events::{reference::HeapQueue, EventId, EventQueue};
+use gmt_sim::Time;
+use proptest::prelude::*;
+
+/// One step of a randomized workload against both queues, decoded from
+/// a `(selector, value)` pair (the vendored proptest shim has no
+/// `prop_oneof`, so the op mix is decoded by hand).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule `gap` ns after the current virtual now.
+    Schedule { gap: u64 },
+    /// Pop one event from both queues.
+    Pop,
+    /// Cancel the `value % live`-th still-live id (no-op when none).
+    Cancel { idx: usize },
+    /// Compare `next_time` on both queues (must not perturb either).
+    Peek,
+}
+
+/// Gaps span several wheel levels, with a deliberate mass at zero so
+/// same-instant FIFO ties are exercised constantly.
+fn decode(sel: u8, value: u64) -> Op {
+    match sel {
+        0 => Op::Schedule { gap: 0 },
+        1 => Op::Schedule { gap: value % 64 },
+        2 => Op::Schedule { gap: value % 4_096 },
+        3 => Op::Schedule {
+            gap: value % 1_000_000,
+        },
+        4 => Op::Schedule {
+            gap: value % (1 << 40),
+        },
+        5 | 6 => Op::Pop,
+        7 => Op::Cancel {
+            idx: value as usize,
+        },
+        _ => Op::Peek,
+    }
+}
+
+proptest! {
+    #[test]
+    fn wheel_matches_heap_on_random_interleavings(
+        raw in proptest::collection::vec((0u8..9, 0u64..u64::MAX), 1..600),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut live: Vec<EventId> = Vec::new();
+        let mut payload = 0u64;
+
+        for (sel, value) in raw {
+            match decode(sel, value) {
+                Op::Schedule { gap } => {
+                    let at = Time::from_nanos(wheel.now().as_nanos() + gap);
+                    let a = wheel.schedule(at, payload);
+                    let b = heap.schedule(at, payload);
+                    prop_assert_eq!(a, b, "ids diverged");
+                    live.push(a);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    let a = wheel.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(a, b, "pop diverged");
+                    prop_assert_eq!(wheel.now(), heap.now());
+                }
+                Op::Cancel { idx } => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(idx % live.len());
+                        prop_assert_eq!(wheel.cancel(id), heap.cancel(id));
+                        // A second cancel of the same id is a no-op on both.
+                        prop_assert_eq!(wheel.cancel(id), heap.cancel(id));
+                    }
+                }
+                Op::Peek => {
+                    prop_assert_eq!(wheel.next_time(), heap.next_time());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+
+        // Drain both to the end: the full remaining sequence must match.
+        loop {
+            let a = wheel.pop();
+            let b = heap.pop();
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_ties_pop_in_schedule_order(
+        instants in proptest::collection::vec(0u64..16u64, 2..200),
+    ) {
+        // Many events landing on very few instants: within one instant,
+        // both queues must pop in schedule order (seq order).
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        for (i, t) in instants.iter().enumerate() {
+            let at = Time::from_nanos(*t);
+            wheel.schedule(at, i as u64);
+            heap.schedule(at, i as u64);
+        }
+        let mut last: Option<(Time, u64)> = None;
+        while let Some(a) = wheel.pop() {
+            let b = heap.pop().expect("heap drains in lockstep");
+            prop_assert_eq!(a, b);
+            if let Some((lt, lp)) = last {
+                prop_assert!(a.0 >= lt, "time went backwards");
+                if a.0 == lt {
+                    prop_assert!(a.1 > lp, "FIFO tie order violated");
+                }
+            }
+            last = Some(a);
+        }
+        prop_assert!(heap.pop().is_none());
+    }
+}

@@ -179,20 +179,25 @@ impl SsdDevice {
         if !self.trace.is_enabled() {
             return;
         }
-        self.pending.sort_unstable_by_key(|io| io.done);
-        let ready = self.pending.iter().take_while(|io| io.done <= now).count();
-        let reaped: Vec<PendingIo> = self.pending.drain(..ready).collect();
-        let remaining = self.pending.len();
-        for (i, io) in reaped.iter().enumerate() {
+        // `pending` is kept sorted by completion time at insertion, so
+        // reaping is a partition point — no per-poll sort, no scratch
+        // allocation.
+        let ready = self.pending.partition_point(|io| io.done <= now);
+        if ready == 0 {
+            return;
+        }
+        let total = self.pending.len();
+        for (i, io) in self.pending[..ready].iter().enumerate() {
             self.trace.emit(
                 now,
                 TraceEvent::SsdComplete {
                     device: self.trace_index,
                     write: io.write,
-                    queue_depth: (remaining + reaped.len() - 1 - i) as u32,
+                    queue_depth: (total - 1 - i) as u32,
                 },
             );
         }
+        self.pending.drain(..ready);
     }
 
     /// Submits `cmd` at time `now`; returns its completion time and entry.
@@ -219,7 +224,11 @@ impl SsdDevice {
         if self.trace.is_enabled() {
             self.flush_trace(now);
             let write = !matches!(cmd.opcode, Opcode::Read);
-            self.pending.push(PendingIo { done, write });
+            // Sorted insert (ties keep submission order). Completions
+            // mostly finish in submission order, so the insertion point
+            // is usually the tail and the shift is empty.
+            let at = self.pending.partition_point(|io| io.done <= done);
+            self.pending.insert(at, PendingIo { done, write });
             self.trace.emit(
                 now,
                 TraceEvent::SsdSubmit {
